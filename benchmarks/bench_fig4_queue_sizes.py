@@ -1,0 +1,63 @@
+"""E4 — Figure 4: minimal queue sizes vs mesh size and directory position.
+
+Regenerates the Figure-4 grid for 2×2 and 3×3 meshes (4×4 behind the
+``ADVOCAT_BIG`` environment variable — several minutes in pure Python).
+
+Shape expectations: minimal size grows with mesh size; in this
+reproduction's single-ejection-queue router the directory position does
+not change the minimum (the paper's per-direction input queues make it
+row-dependent instead — see EXPERIMENTS.md for the comparison).
+"""
+
+import os
+
+from conftest import report
+
+from repro.core import minimal_queue_size
+from repro.protocols import abstract_mi_mesh
+
+
+def _sweep(n: int) -> dict[tuple[int, int], int]:
+    sizes = {}
+    for y in range((n + 1) // 2):
+        for x in range(y, (n + 1) // 2):
+            sizing = minimal_queue_size(
+                lambda q, p=(x, y): abstract_mi_mesh(
+                    n, n, queue_size=q, directory_node=p
+                ).network
+            )
+            sizes[(x, y)] = sizing.minimal_size
+    return sizes
+
+
+def test_fig4_2x2(benchmark):
+    sizes = benchmark.pedantic(lambda: _sweep(2), rounds=1, iterations=1)
+    report(
+        "E4/Figure 4: 2x2 minimal queue sizes per directory position",
+        [f"directory {pos}: {size}" for pos, size in sorted(sizes.items())],
+    )
+    assert sizes[(0, 0)] == 3
+
+
+def test_fig4_3x3(benchmark):
+    sizes = benchmark.pedantic(lambda: _sweep(3), rounds=1, iterations=1)
+    report(
+        "E4/Figure 4: 3x3 minimal queue sizes per directory position "
+        "(paper 4x4: 15 centre / 23 edge; shape: grows with mesh size)",
+        [f"directory {pos}: {size}" for pos, size in sorted(sizes.items())],
+    )
+    assert all(size > 3 for size in sizes.values()), (
+        "3x3 minima must exceed the 2x2 minimum"
+    )
+
+
+def test_fig4_4x4(benchmark):
+    if not os.environ.get("ADVOCAT_BIG"):
+        import pytest
+
+        pytest.skip("set ADVOCAT_BIG=1 for the 4x4 sweep")
+    sizes = benchmark.pedantic(lambda: _sweep(4), rounds=1, iterations=1)
+    report(
+        "E4/Figure 4: 4x4 minimal queue sizes",
+        [f"directory {pos}: {size}" for pos, size in sorted(sizes.items())],
+    )

@@ -1,0 +1,88 @@
+"""E7 — scalability: model size and verification time.
+
+The paper reports, for a 6×6 mesh with VCs and queue size 30: 67 seconds,
+2844 primitives, 36 automata, 432 queues — and notes that verification
+time does not depend on the queue size.
+
+This benchmark regenerates both series at reproduction scale: model-size
+counters and end-to-end verification time per mesh size, plus the
+queue-size-independence check.  (Python vs the authors' native stack makes
+absolute times incomparable; the shape — polynomial growth in mesh size,
+flat in queue size — is the reproduction target.)
+"""
+
+import os
+
+from conftest import report
+
+from repro import verify
+from repro.protocols import abstract_mi_mesh
+
+
+def test_model_size_scaling(benchmark):
+    def measure():
+        rows = []
+        meshes = [(2, 2), (2, 3), (3, 3)]
+        if os.environ.get("ADVOCAT_BIG"):
+            meshes += [(4, 4), (6, 6)]
+        for width, height in meshes:
+            inst = abstract_mi_mesh(width, height, queue_size=3, vcs=2)
+            stats = inst.network.stats()
+            rows.append(
+                f"{width}x{height} (2 VCs): {stats['primitives']} primitives, "
+                f"{stats['automata']} automata, {stats['queues']} queues"
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "E7: model sizes (paper 6x6 w/ VCs: 2844 primitives, 36 automata, "
+        "432 queues)",
+        rows,
+    )
+
+
+def test_verification_time_scaling(benchmark):
+    import time
+
+    def measure():
+        rows = []
+        for width, height in ((2, 2), (2, 3), (3, 3)):
+            inst = abstract_mi_mesh(width, height, queue_size=3)
+            start = time.perf_counter()
+            result = verify(inst.network)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                f"{width}x{height}: {elapsed:.2f}s -> {result.verdict.value} "
+                f"({result.stats['invariant_count']} invariants)"
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("E7: verification time vs mesh size", rows)
+
+
+def test_runtime_independent_of_queue_size(benchmark):
+    import time
+
+    def measure():
+        rows = []
+        times = {}
+        for queue_size in (3, 10, 30):
+            inst = abstract_mi_mesh(2, 2, queue_size=queue_size)
+            start = time.perf_counter()
+            result = verify(inst.network)
+            times[queue_size] = time.perf_counter() - start
+            rows.append(
+                f"queue size {queue_size}: {times[queue_size]:.2f}s "
+                f"-> {result.verdict.value}"
+            )
+        return rows, times
+
+    rows, times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "E7: runtime vs queue size (paper: independent of queue size)",
+        rows,
+    )
+    # flat within generous tolerance (pure-Python noise)
+    assert times[30] < 10 * max(times[3], 0.05)

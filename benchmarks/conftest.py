@@ -1,0 +1,14 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the rows/series of the paper artefact it
+regenerates (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them); EXPERIMENTS.md records the captured values.
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, rows: list[str]) -> None:
+    print(f"\n[{title}]")
+    for row in rows:
+        print(f"  {row}")

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Figure 4: minimal deadlock-free queue sizes per mesh and directory position.
+
+For each mesh size and directory position, binary-search the smallest
+uniform queue size for which ADVOCAT proves deadlock freedom.
+
+In this reproduction's router model every node has a single rotating
+ejection queue, so the binding constraint is the total number of foreign
+packets that can stall in front of the directory — which grows with the
+cache count but not with the directory position (see EXPERIMENTS.md for
+the comparison against the paper's per-direction numbers).
+
+Run:  python examples/queue_sizing.py [--max-mesh 3]
+"""
+
+import argparse
+
+from repro.core import minimal_queue_size
+from repro.protocols import abstract_mi_mesh
+
+
+def octant_positions(width: int, height: int) -> list[tuple[int, int]]:
+    """Directory positions up to the mesh's symmetry group."""
+    positions = []
+    for y in range((height + 1) // 2):
+        for x in range(y, (width + 1) // 2):
+            positions.append((x, y))
+    return positions
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--max-mesh", type=int, default=3,
+                        help="largest n for the n x n sweep (default 3)")
+    args = parser.parse_args()
+
+    for n in range(2, args.max_mesh + 1):
+        print(f"\n=== {n}x{n} mesh ===")
+        for position in octant_positions(n, n):
+            sizing = minimal_queue_size(
+                lambda q, p=position: abstract_mi_mesh(
+                    n, n, queue_size=q, directory_node=p
+                ).network
+            )
+            print(f"  directory at {position}: minimal queue size = "
+                  f"{sizing.minimal_size}   (probes: "
+                  + ", ".join(
+                      f"{s}:{'free' if ok else 'dl'}"
+                      for s, ok in sorted(sizing.probes.items())
+                  ) + ")")
+
+
+if __name__ == "__main__":
+    main()

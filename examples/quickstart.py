@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: verify the paper's running example (Figure 1).
+
+Builds the two-automata/two-queue network, derives the cross-layer
+invariants automatically, shows the deadlock candidates that plain
+block/idle analysis reports, and proves deadlock freedom once the
+invariants are added — reproducing Sections 1 and 3 of the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import verify
+from repro.core import VarPool, derive_colors, generate_invariants
+from repro.mc import Explorer
+from repro.netlib import running_example
+
+
+def main() -> None:
+    example = running_example(queue_size=2)
+    network = example.network
+    print(f"network: {network.stats()}")
+
+    # 1. Automatic cross-layer invariants (Section 4).
+    pool = VarPool()
+    invariants = generate_invariants(network, derive_colors(network), pool)
+    print(f"\n{len(invariants)} invariants derived automatically:")
+    for invariant in invariants:
+        print(f"  {invariant.pretty()}")
+
+    # 2. Plain block/idle detection reports unreachable candidates
+    #    (Section 3: the two candidates (s1,t0)/empty and (s0,t1)/full).
+    without = verify(network, use_invariants=False)
+    print(f"\nwithout invariants: {without.verdict.value}")
+    if without.witness:
+        print(without.witness.pretty())
+
+    # 3. With invariants the system is proved deadlock-free (Section 1).
+    result = verify(network, use_invariants=True)
+    print(f"\nwith invariants: {result.verdict.value}")
+    assert result.deadlock_free
+
+    # 4. Cross-check with exhaustive explicit-state search (UPPAAL stand-in).
+    exploration = Explorer(network).find_deadlock()
+    print(
+        f"explicit-state check: exhausted={exploration.exhausted}, "
+        f"states={exploration.states_explored}, "
+        f"deadlock={exploration.found_deadlock}"
+    )
+    assert exploration.exhausted and not exploration.found_deadlock
+    print("\nrunning example verified deadlock-free — matches the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline environment ships a setuptools without PEP 660 editable-wheel
+support, so ``pip install -e .`` needs this classic entry point.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

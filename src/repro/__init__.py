@@ -1,0 +1,44 @@
+"""ADVOCAT — Automated Deadlock Verification for On-chip Cache coherence
+and InTerconnects (reproduction of Verbeek et al., DATE 2016).
+
+Quickstart::
+
+    from repro import verify
+    from repro.netlib import running_example
+
+    result = verify(running_example().network)
+    assert result.deadlock_free
+    for invariant in result.invariants:
+        print(invariant.pretty())
+
+See :mod:`repro.fabrics` for 2D-mesh construction, :mod:`repro.protocols`
+for the MI coherence protocols of the case study, and :mod:`repro.mc` for
+the explicit-state model checker that confirms deadlock candidates.
+"""
+
+from .core import (
+    DeadlockWitness,
+    Invariant,
+    Verdict,
+    VerificationResult,
+    derive_colors,
+    encode_deadlock,
+    generate_invariants,
+    minimal_queue_size,
+    verify,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "verify",
+    "derive_colors",
+    "generate_invariants",
+    "encode_deadlock",
+    "minimal_queue_size",
+    "Invariant",
+    "Verdict",
+    "VerificationResult",
+    "DeadlockWitness",
+    "__version__",
+]

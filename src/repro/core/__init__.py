@@ -1,0 +1,38 @@
+"""ADVOCAT core: the paper's verification pipeline.
+
+Public entry points:
+
+* :func:`verify` — full pipeline (colors → invariants → block/idle → SMT).
+* :func:`derive_colors` — the T-derivation (Section 3).
+* :func:`generate_invariants` — cross-layer invariants (Section 4).
+* :func:`encode_deadlock` — block/idle equations + deadlock assertion.
+* :func:`minimal_queue_size` — Figure-4 style queue sizing.
+"""
+
+from .colors import ColorDerivationError, ColorMap, derive_colors
+from .deadlock import DeadlockEncoding, encode_deadlock
+from .invariants import build_flow_rows, generate_invariants
+from .proof import enumerate_witnesses, verify
+from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
+from .sizing import SizingResult, minimal_queue_size
+from .vars import VarPool, color_label
+
+__all__ = [
+    "verify",
+    "enumerate_witnesses",
+    "derive_colors",
+    "generate_invariants",
+    "encode_deadlock",
+    "minimal_queue_size",
+    "ColorMap",
+    "ColorDerivationError",
+    "DeadlockEncoding",
+    "DeadlockWitness",
+    "Invariant",
+    "Verdict",
+    "VerificationResult",
+    "SizingResult",
+    "VarPool",
+    "color_label",
+    "build_flow_rows",
+]

@@ -1,0 +1,173 @@
+"""Color derivation — the function T of Section 3.
+
+``T(c)`` overapproximates the set of packet colors that can ever appear on
+channel ``c``.  It is computed as a forward may-analysis least fixpoint:
+sources seed their color sets, every other primitive transfers colors from
+its in-channels to its out-channels, and automata transfer through (ε, φ)
+ignoring state reachability (a sound overapproximation).
+
+The derivation doubles as a totality check: a switch whose routing function
+fails (or returns an out-of-range index) on a derivable color is a modelling
+error and raises :class:`ColorDerivationError` immediately, rather than
+surfacing as a bogus verdict later.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..xmas import (
+    Automaton,
+    Channel,
+    Fork,
+    Function,
+    Join,
+    Merge,
+    Network,
+    Queue,
+    Sink,
+    Source,
+    Switch,
+)
+
+__all__ = ["ColorMap", "ColorDerivationError", "derive_colors"]
+
+Color = Hashable
+
+
+class ColorDerivationError(ValueError):
+    """A routing/guard/transform function misbehaved on a derivable color."""
+
+
+class ColorMap:
+    """The result of color derivation: ``channel -> frozenset of colors``."""
+
+    def __init__(self, colors: dict[Channel, frozenset[Color]]):
+        self._colors = colors
+
+    def of(self, channel: Channel) -> frozenset[Color]:
+        return self._colors.get(channel, frozenset())
+
+    def items(self) -> Iterable[tuple[Channel, frozenset[Color]]]:
+        return self._colors.items()
+
+    def total_pairs(self) -> int:
+        """Number of (channel, color) pairs — the analysis problem size."""
+        return sum(len(colors) for colors in self._colors.values())
+
+    def __repr__(self) -> str:
+        return f"ColorMap({self.total_pairs()} channel/color pairs)"
+
+
+def _apply(fn, color: Color, context: str) -> Color:
+    try:
+        return fn(color)
+    except Exception as exc:  # noqa: BLE001 - report modelling errors verbatim
+        raise ColorDerivationError(
+            f"{context}: function failed on color {color!r}: {exc}"
+        ) from exc
+
+
+def derive_colors(network: Network) -> ColorMap:
+    """Least-fixpoint forward color propagation over ``network``."""
+    colors: dict[Channel, set[Color]] = {channel: set() for channel in network.channels}
+    # Worklist of primitives whose inputs gained colors.
+    worklist: list = list(network.primitives.values())
+    in_worklist = set(id(p) for p in worklist)
+
+    def push(channel: Channel, new_colors: Iterable[Color]) -> None:
+        added = set(new_colors) - colors[channel]
+        if not added:
+            return
+        colors[channel].update(added)
+        consumer = channel.target.owner
+        if id(consumer) not in in_worklist:
+            worklist.append(consumer)
+            in_worklist.add(id(consumer))
+
+    while worklist:
+        primitive = worklist.pop()
+        in_worklist.discard(id(primitive))
+        _transfer(primitive, network, colors, push)
+
+    return ColorMap({c: frozenset(s) for c, s in colors.items()})
+
+
+def _transfer(primitive, network: Network, colors, push) -> None:
+    if isinstance(primitive, Source):
+        push(network.channel_of(primitive.o), primitive.colors)
+    elif isinstance(primitive, Queue):
+        push(
+            network.channel_of(primitive.o),
+            colors[network.channel_of(primitive.i)],
+        )
+    elif isinstance(primitive, Function):
+        incoming = colors[network.channel_of(primitive.i)]
+        push(
+            network.channel_of(primitive.o),
+            {_apply(primitive.fn, d, f"function {primitive.name}") for d in incoming},
+        )
+    elif isinstance(primitive, Fork):
+        incoming = colors[network.channel_of(primitive.i)]
+        push(
+            network.channel_of(primitive.a),
+            {_apply(primitive.fn_a, d, f"fork {primitive.name}.a") for d in incoming},
+        )
+        push(
+            network.channel_of(primitive.b),
+            {_apply(primitive.fn_b, d, f"fork {primitive.name}.b") for d in incoming},
+        )
+    elif isinstance(primitive, Join):
+        colors_a = colors[network.channel_of(primitive.a)]
+        colors_b = colors[network.channel_of(primitive.b)]
+        combined = {
+            _apply(lambda pair: primitive.combine(pair[0], pair[1]), (da, db),
+                   f"join {primitive.name}")
+            for da in colors_a
+            for db in colors_b
+        }
+        push(network.channel_of(primitive.o), combined)
+    elif isinstance(primitive, Switch):
+        incoming = colors[network.channel_of(primitive.i)]
+        routed: dict[int, set[Color]] = {}
+        for color in incoming:
+            index = _apply(primitive.route, color, f"switch {primitive.name}")
+            if not isinstance(index, int) or not 0 <= index < primitive.n_outputs:
+                raise ColorDerivationError(
+                    f"switch {primitive.name}: route({color!r}) returned "
+                    f"{index!r}, expected an index in range({primitive.n_outputs})"
+                )
+            routed.setdefault(index, set()).add(color)
+        for index, routed_colors in routed.items():
+            push(network.channel_of(primitive.outs[index]), routed_colors)
+    elif isinstance(primitive, Merge):
+        merged: set[Color] = set()
+        for port in primitive.ins:
+            merged |= colors[network.channel_of(port)]
+        push(network.channel_of(primitive.o), merged)
+    elif isinstance(primitive, Automaton):
+        for transition in primitive.transitions:
+            if transition.out_port is None:
+                continue
+            in_channel = network.channel_of(primitive.port(transition.in_port))
+            out_channel = network.channel_of(primitive.port(transition.out_port))
+            produced: set[Color] = set()
+            for color in colors[in_channel]:
+                accepted = _apply(
+                    transition.accepts, color,
+                    f"automaton {primitive.name} transition {transition.name} guard",
+                )
+                if accepted:
+                    assert transition.produce is not None
+                    produced.add(
+                        _apply(
+                            transition.produce, color,
+                            f"automaton {primitive.name} transition "
+                            f"{transition.name} produce",
+                        )
+                    )
+            push(out_channel, produced)
+    elif isinstance(primitive, Sink):
+        pass
+    else:  # pragma: no cover - all primitive kinds handled above
+        raise TypeError(f"unknown primitive type {type(primitive).__name__}")

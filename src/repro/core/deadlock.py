@@ -1,0 +1,415 @@
+"""Deadlock detection via block/idle equations (Section 3).
+
+For every channel ``c`` and color ``d ∈ T(c)`` two boolean variables are
+introduced:
+
+* ``Block(c, d)`` — the target of ``c`` permanently refuses packets ``d``;
+* ``Idle(c, d)``  — the initiator of ``c`` permanently stops offering ``d``.
+
+Each primitive contributes a *biconditional definition* for the block of its
+in-channels and the idle of its out-channels (Gotmanov et al., VMCAI'11,
+extended to k-way switches/merges and — the paper's contribution — to xMAS
+automata).  Cyclic definitions are expected (the network has cycles); any
+satisfying assignment of the equation system conjoined with the *deadlock
+assertion*
+
+    ∃ queue q, d ∈ T(q.o):  #q.d ≥ 1 ∧ Block(q.o, d)
+  ∨ ∃ fair source src, d:   Block(src.o, d)
+
+is a deadlock *candidate*.  UNSAT means deadlock-free (sound); SAT may be a
+false negative, to be ruled out by invariants (:mod:`repro.core.invariants`)
+or confirmed by explicit-state search (:mod:`repro.mc`).
+
+Queue-block refinement: the paper's queue equation requires a full queue
+whose head is permanently stuck; we additionally require the stuck color to
+be *present* (``#q.d' ≥ 1``), which is sound because a deadlocked head
+packet occupies the queue.  For ``rotating`` queues (automaton-facing
+queues that move an unconsumable head to the tail) an optional stronger
+rule demands *every present* color be stuck before the queue blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..smt import FALSE, TRUE, Term, conj, disj, eq, ge, iff, implies, le, neg
+from ..xmas import (
+    Automaton,
+    Channel,
+    Fork,
+    Function,
+    Join,
+    Merge,
+    Network,
+    Queue,
+    Sink,
+    Source,
+    Switch,
+)
+from .colors import ColorMap
+from .vars import VarPool
+
+__all__ = ["DeadlockEncoding", "encode_deadlock"]
+
+Color = Hashable
+
+
+@dataclass
+class DeadlockEncoding:
+    """The SMT encoding of "a deadlock configuration exists"."""
+
+    definitions: list[Term] = field(default_factory=list)
+    domain: list[Term] = field(default_factory=list)
+    assertion: Term = FALSE
+    # Disjuncts of the assertion, labelled for witness extraction.
+    assertion_cases: list[tuple[str, Term]] = field(default_factory=list)
+
+    def all_terms(self) -> list[Term]:
+        return [*self.definitions, *self.domain, self.assertion]
+
+
+def encode_deadlock(
+    network: Network,
+    colors: ColorMap,
+    pool: VarPool,
+    rotating_precision: bool = True,
+) -> DeadlockEncoding:
+    """Build the block/idle equation system and deadlock assertion."""
+    enc = DeadlockEncoding()
+    _encode_domains(network, colors, pool, enc)
+    for channel in network.channels:
+        for color in colors.of(channel):
+            block_def = _block_rhs(
+                network, colors, pool, channel, color, rotating_precision
+            )
+            idle_def = _idle_rhs(network, colors, pool, channel, color)
+            enc.definitions.append(iff(pool.block(channel, color), block_def))
+            enc.definitions.append(iff(pool.idle(channel, color), idle_def))
+    for automaton in network.automata():
+        enc.definitions.append(
+            iff(pool.dead(automaton), _dead_rhs(network, colors, pool, automaton))
+        )
+    _encode_assertion(network, colors, pool, enc)
+    return enc
+
+
+# ---------------------------------------------------------------------------
+# Domain constraints
+# ---------------------------------------------------------------------------
+
+
+def _encode_domains(
+    network: Network, colors: ColorMap, pool: VarPool, enc: DeadlockEncoding
+) -> None:
+    for queue in network.queues():
+        occupancies = [
+            pool.occupancy(queue, color)
+            for color in colors.of(network.channel_of(queue.i))
+        ]
+        for var in occupancies:
+            enc.domain.append(ge(var, 0))
+            enc.domain.append(le(var, queue.size))
+        if occupancies:
+            total = sum(occupancies[1:], occupancies[0] + 0)
+            enc.domain.append(le(total, queue.size))
+    for automaton in network.automata():
+        state_vars = [pool.state(automaton, s) for s in automaton.states]
+        for var in state_vars:
+            enc.domain.append(ge(var, 0))
+            enc.domain.append(le(var, 1))
+        total = sum(state_vars[1:], state_vars[0] + 0)
+        enc.domain.append(eq(total, 1))
+
+
+def _queue_full(queue: Queue, colors: ColorMap, pool: VarPool, network: Network) -> Term:
+    occupancies = [
+        pool.occupancy(queue, color)
+        for color in colors.of(network.channel_of(queue.i))
+    ]
+    if not occupancies:
+        return FALSE  # a queue no color can reach is never full
+    total = sum(occupancies[1:], occupancies[0] + 0)
+    return eq(total, queue.size)
+
+
+# ---------------------------------------------------------------------------
+# Block equations (defined by the channel's *target* primitive)
+# ---------------------------------------------------------------------------
+
+
+def _block_rhs(
+    network: Network,
+    colors: ColorMap,
+    pool: VarPool,
+    channel: Channel,
+    color: Color,
+    rotating_precision: bool,
+) -> Term:
+    target = channel.target.owner
+    port = channel.target
+
+    if isinstance(target, Queue):
+        out_channel = network.channel_of(target.o)
+        head_colors = colors.of(out_channel)
+        if target.rotating and rotating_precision:
+            # Rotation lets consumable heads bypass stuck ones: the queue
+            # only blocks when every color actually present is stuck.
+            stuck_all = conj(
+                *(
+                    implies(
+                        ge(pool.occupancy(target, d), 1),
+                        pool.block(out_channel, d),
+                    )
+                    for d in head_colors
+                )
+            )
+            return conj(_queue_full(target, colors, pool, network), stuck_all)
+        stuck_head = disj(
+            *(
+                conj(ge(pool.occupancy(target, d), 1), pool.block(out_channel, d))
+                for d in head_colors
+            )
+        )
+        return conj(_queue_full(target, colors, pool, network), stuck_head)
+
+    if isinstance(target, Function):
+        out_channel = network.channel_of(target.o)
+        return pool.block(out_channel, target.fn(color))
+
+    if isinstance(target, Sink):
+        if target.fair:
+            return FALSE
+        return pool.dead_sink_choice(target)
+
+    if isinstance(target, Fork):
+        chan_a = network.channel_of(target.a)
+        chan_b = network.channel_of(target.b)
+        return disj(
+            pool.block(chan_a, target.fn_a(color)),
+            pool.block(chan_b, target.fn_b(color)),
+        )
+
+    if isinstance(target, Join):
+        out_channel = network.channel_of(target.o)
+        if port is target.a:
+            partner_channel = network.channel_of(target.b)
+            partner_colors = colors.of(partner_channel)
+            combine = lambda mine, other: target.combine(mine, other)  # noqa: E731
+        else:
+            partner_channel = network.channel_of(target.a)
+            partner_colors = colors.of(partner_channel)
+            combine = lambda mine, other: target.combine(other, mine)  # noqa: E731
+        partner_starved = conj(
+            *(pool.idle(partner_channel, d) for d in partner_colors)
+        )
+        output_stuck = disj(
+            *(pool.block(out_channel, combine(color, d)) for d in partner_colors)
+        )
+        return disj(partner_starved, output_stuck)
+
+    if isinstance(target, Switch):
+        index = target.route(color)
+        out_channel = network.channel_of(target.outs[index])
+        return pool.block(out_channel, color)
+
+    if isinstance(target, Merge):
+        # Fair arbitration: an input is permanently refused only if the
+        # shared output permanently refuses the packet.
+        out_channel = network.channel_of(target.o)
+        return pool.block(out_channel, color)
+
+    if isinstance(target, Automaton):
+        port_name = port.name
+        acceptors = [
+            t for t in target.transitions_on_port(port_name) if t.accepts(color)
+        ]
+        if not acceptors:
+            return TRUE  # paper: (∀t. ¬ε(i,d)) ∨ dead(A)
+        return pool.dead(target)
+
+    raise TypeError(f"no block equation for {type(target).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Idle equations (defined by the channel's *initiator* primitive)
+# ---------------------------------------------------------------------------
+
+
+def _idle_rhs(
+    network: Network,
+    colors: ColorMap,
+    pool: VarPool,
+    channel: Channel,
+    color: Color,
+) -> Term:
+    initiator = channel.initiator.owner
+    port = channel.initiator
+
+    if isinstance(initiator, Source):
+        # Fair sources eventually offer every one of their colors.
+        return FALSE if color in initiator.colors else TRUE
+
+    if isinstance(initiator, Queue):
+        # A queue stops offering d when it holds none and no d can *enter*
+        # any more — either none is ever offered upstream, or the queue is
+        # permanently full of other packets (blocked entry).  The second
+        # disjunct is essential: without it, a packet stuck in front of a
+        # permanently full queue would falsify the idleness of the queue
+        # output and real deadlocks (e.g. Figure 3) would be missed.
+        in_channel = network.channel_of(initiator.i)
+        return conj(
+            eq(pool.occupancy(initiator, color), 0),
+            disj(
+                pool.idle(in_channel, color),
+                pool.block(in_channel, color),
+            ),
+        )
+
+    if isinstance(initiator, Function):
+        in_channel = network.channel_of(initiator.i)
+        preimages = [d for d in colors.of(in_channel) if initiator.fn(d) == color]
+        return conj(*(pool.idle(in_channel, d) for d in preimages))
+
+    if isinstance(initiator, Fork):
+        in_channel = network.channel_of(initiator.i)
+        if port is initiator.a:
+            transform, other_transform = initiator.fn_a, initiator.fn_b
+            other_channel = network.channel_of(initiator.b)
+        else:
+            transform, other_transform = initiator.fn_b, initiator.fn_a
+            other_channel = network.channel_of(initiator.a)
+        preimages = [d for d in colors.of(in_channel) if transform(d) == color]
+        # Each candidate packet never reaches this output iff it never
+        # arrives or the synchronous copy to the sibling output is stuck.
+        return conj(
+            *(
+                disj(
+                    pool.idle(in_channel, d),
+                    pool.block(other_channel, other_transform(d)),
+                )
+                for d in preimages
+            )
+        )
+
+    if isinstance(initiator, Join):
+        chan_a = network.channel_of(initiator.a)
+        chan_b = network.channel_of(initiator.b)
+        pairs = [
+            (da, db)
+            for da in colors.of(chan_a)
+            for db in colors.of(chan_b)
+            if initiator.combine(da, db) == color
+        ]
+        return conj(
+            *(
+                disj(pool.idle(chan_a, da), pool.idle(chan_b, db))
+                for da, db in pairs
+            )
+        )
+
+    if isinstance(initiator, Switch):
+        in_channel = network.channel_of(initiator.i)
+        if color not in colors.of(in_channel):
+            return TRUE
+        if initiator.outs[initiator.route(color)] is not port:
+            return TRUE
+        return pool.idle(in_channel, color)
+
+    if isinstance(initiator, Merge):
+        feeders = [
+            network.channel_of(p)
+            for p in initiator.ins
+            if color in colors.of(network.channel_of(p))
+        ]
+        return conj(*(pool.idle(f, color) for f in feeders))
+
+    if isinstance(initiator, Automaton):
+        port_name = port.name
+        producers = []
+        for transition in initiator.transitions:
+            if transition.out_port != port_name:
+                continue
+            in_channel = network.channel_of(initiator.port(transition.in_port))
+            for d in colors.of(in_channel):
+                if transition.accepts(d) and transition.output(d) == (port_name, color):
+                    producers.append(transition)
+                    break
+        if not producers:
+            return TRUE  # paper: (∀t,i,d. ε → φ ≠ (o,d')) ∨ dead(A)
+        return pool.dead(initiator)
+
+    raise TypeError(f"no idle equation for {type(initiator).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Automaton deadness (the paper's dead_A equation)
+# ---------------------------------------------------------------------------
+
+
+def _dead_rhs(
+    network: Network, colors: ColorMap, pool: VarPool, automaton: Automaton
+) -> Term:
+    per_state = []
+    for state in automaton.states:
+        outgoing = automaton.transitions_from(state)
+        all_dead = conj(
+            *(_transition_dead(network, colors, pool, automaton, t) for t in outgoing)
+        )
+        per_state.append(conj(eq(pool.state(automaton, state), 1), all_dead))
+    return disj(*per_state)
+
+
+def _transition_dead(
+    network: Network, colors: ColorMap, pool: VarPool, automaton: Automaton, transition
+) -> Term:
+    """dead(t): every packet that could trigger t is stuck or never comes."""
+    in_channel = network.channel_of(automaton.port(transition.in_port))
+    cases = []
+    for color in colors.of(in_channel):
+        if not transition.accepts(color):
+            continue
+        stuck_or_starved = pool.idle(in_channel, color)
+        output = transition.output(color)
+        if output is not None:
+            out_port, produced = output
+            out_channel = network.channel_of(automaton.port(out_port))
+            stuck_or_starved = disj(
+                pool.block(out_channel, produced), stuck_or_starved
+            )
+        cases.append(stuck_or_starved)
+    return conj(*cases)  # vacuously dead if no color can ever trigger it
+
+
+# ---------------------------------------------------------------------------
+# Deadlock assertion
+# ---------------------------------------------------------------------------
+
+
+def _encode_assertion(
+    network: Network, colors: ColorMap, pool: VarPool, enc: DeadlockEncoding
+) -> None:
+    cases: list[tuple[str, Term]] = []
+    for queue in network.queues():
+        out_channel = network.channel_of(queue.o)
+        for color in colors.of(out_channel):
+            cases.append(
+                (
+                    f"queue {queue.name} holds stuck {color!r}",
+                    conj(
+                        ge(pool.occupancy(queue, color), 1),
+                        pool.block(out_channel, color),
+                    ),
+                )
+            )
+    for source in network.sources():
+        out_channel = network.channel_of(source.o)
+        for color in source.colors:
+            cases.append(
+                (
+                    f"source {source.name} permanently blocked on {color!r}",
+                    pool.block(out_channel, color),
+                )
+            )
+    enc.assertion_cases = cases
+    enc.assertion = disj(*(term for _, term in cases))

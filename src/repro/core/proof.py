@@ -1,0 +1,192 @@
+"""The ADVOCAT proof engine: colors → invariants → block/idle → SMT verdict.
+
+:func:`verify` is the library's main entry point.  It returns a
+:class:`~repro.core.result.VerificationResult`:
+
+* ``DEADLOCK_FREE`` — the equation system conjoined with the invariants and
+  the deadlock assertion is UNSAT.  By soundness of the block/idle
+  overapproximation and of the invariants, *no reachable deadlock exists*.
+* ``DEADLOCK_CANDIDATE`` — a satisfying assignment exists; its queue
+  occupancies and automaton states are returned as a
+  :class:`~repro.core.result.DeadlockWitness`.  The candidate may be
+  unreachable (a false negative); :mod:`repro.mc` can confirm small ones.
+"""
+
+from __future__ import annotations
+
+from ..smt import Result, Solver
+from ..xmas import Network
+from ..util import Stopwatch
+from .colors import ColorMap, derive_colors
+from .deadlock import DeadlockEncoding, encode_deadlock
+from .invariants import generate_invariants
+from .result import DeadlockWitness, Verdict, VerificationResult
+from .vars import VarPool
+
+__all__ = ["verify", "extract_witness", "enumerate_witnesses"]
+
+
+def verify(
+    network: Network,
+    use_invariants: bool = True,
+    rotating_precision: bool = True,
+    max_splits: int = 100_000,
+) -> VerificationResult:
+    """Run the full ADVOCAT pipeline on ``network``.
+
+    Parameters
+    ----------
+    network:
+        A validated (or validatable) closed xMAS network.
+    use_invariants:
+        Generate and conjoin cross-layer invariants (Section 4).  Without
+        them the check degenerates to plain block/idle detection (Section
+        3) and reports many unreachable candidates.
+    rotating_precision:
+        Use the stronger block rule for ``rotating`` queues (see
+        :mod:`repro.core.deadlock`).
+    max_splits:
+        Branch-and-bound budget forwarded to the SMT solver.
+    """
+    network.validate()
+    watch = Stopwatch()
+    with watch.phase("color derivation"):
+        colors = derive_colors(network)
+    pool = VarPool()
+    invariants = []
+    if use_invariants:
+        with watch.phase("invariant generation"):
+            invariants = generate_invariants(network, colors, pool)
+    with watch.phase("deadlock encoding"):
+        encoding = encode_deadlock(
+            network, colors, pool, rotating_precision=rotating_precision
+        )
+    solver = Solver(max_splits=max_splits)
+    with watch.phase("smt solving"):
+        for term in encoding.definitions:
+            solver.add(term)
+        for term in encoding.domain:
+            solver.add(term)
+        for invariant in invariants:
+            solver.add(invariant.term())
+        solver.add(encoding.assertion)
+        outcome = solver.check()
+
+    stats = {
+        "network": network.stats(),
+        "color_pairs": colors.total_pairs(),
+        "invariant_count": len(invariants),
+        "solver": dict(solver.stats),
+        "durations": dict(watch.durations),
+    }
+    if outcome == Result.UNSAT:
+        return VerificationResult(
+            Verdict.DEADLOCK_FREE, invariants=invariants, stats=stats
+        )
+    witness = extract_witness(network, colors, pool, solver, encoding)
+    return VerificationResult(
+        Verdict.DEADLOCK_CANDIDATE,
+        witness=witness,
+        invariants=invariants,
+        stats=stats,
+    )
+
+
+def enumerate_witnesses(
+    network: Network,
+    limit: int = 16,
+    use_invariants: bool = True,
+    rotating_precision: bool = True,
+):
+    """Yield distinct deadlock candidates (up to ``limit``).
+
+    Each witness differs from all previous ones in automaton states or in
+    some queue-occupancy value; the generator stops when the formula
+    becomes UNSAT or the limit is reached.  Useful for hunting a *reachable*
+    candidate among false negatives (confirm each with
+    :class:`repro.mc.Explorer`).
+    """
+    from ..smt import conj, eq, neg
+
+    network.validate()
+    colors = derive_colors(network)
+    pool = VarPool()
+    solver = Solver()
+    if use_invariants:
+        for invariant in generate_invariants(network, colors, pool):
+            solver.add(invariant.term())
+    encoding = encode_deadlock(
+        network, colors, pool, rotating_precision=rotating_precision
+    )
+    for term in encoding.definitions:
+        solver.add(term)
+    for term in encoding.domain:
+        solver.add(term)
+    solver.add(encoding.assertion)
+
+    for _ in range(limit):
+        if solver.check() != Result.SAT:
+            return
+        model = solver.model()
+        witness = extract_witness(network, colors, pool, solver, encoding)
+        yield witness
+        shape = []
+        for automaton in network.automata():
+            for state in automaton.states:
+                var = pool.state(automaton, state)
+                shape.append(eq(var, model[var]))
+        for queue in network.queues():
+            for color in colors.of(network.channel_of(queue.i)):
+                var = pool.occupancy(queue, color)
+                shape.append(eq(var, model[var]))
+        solver.add(neg(conj(*shape)))
+
+
+def extract_witness(
+    network: Network,
+    colors: ColorMap,
+    pool: VarPool,
+    solver: Solver,
+    encoding: DeadlockEncoding,
+) -> DeadlockWitness:
+    """Read the deadlock configuration out of the SMT model."""
+    model = solver.model()
+
+    automaton_states: dict[str, str] = {}
+    for automaton in network.automata():
+        chosen = [
+            state
+            for state in automaton.states
+            if model[pool.state(automaton, state)] == 1
+        ]
+        automaton_states[automaton.name] = chosen[0] if chosen else "?"
+
+    queue_contents: dict[str, dict] = {}
+    for queue in network.queues():
+        contents = {}
+        for color in colors.of(network.channel_of(queue.i)):
+            count = model[pool.occupancy(queue, color)]
+            if count:
+                contents[color] = int(count)
+        queue_contents[queue.name] = contents
+
+    blocked = []
+    for queue in network.queues():
+        out_channel = network.channel_of(queue.o)
+        for color in colors.of(out_channel):
+            if (
+                model[pool.occupancy(queue, color)] >= 1
+                and model[pool.block(out_channel, color)]
+            ):
+                blocked.append(f"{queue.name} head {color!r}")
+    for source in network.sources():
+        out_channel = network.channel_of(source.o)
+        for color in source.colors:
+            if model[pool.block(out_channel, color)]:
+                blocked.append(f"source {source.name} {color!r}")
+
+    return DeadlockWitness(
+        automaton_states=automaton_states,
+        queue_contents=queue_contents,
+        blocked_channels=blocked,
+    )

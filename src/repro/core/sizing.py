@@ -1,0 +1,104 @@
+"""Minimal queue-size search (the Figure 4 experiment).
+
+Deadlock freedom of the case-study networks is monotone in queue size: a
+deadlock that exists with larger queues can be replayed with the same
+packet placement when queues shrink only if it still fits, while enlarging
+queues only adds slack (the paper's Figure 3 argument: the third slot can
+not be occupied and therefore breaks the cycle).  The search exploits this:
+exponential climb until a deadlock-free size is found, then binary search
+for the boundary.
+
+``minimal_queue_size`` is deliberately defensive: monotonicity is an
+assumption about the *model family*, so the result records every probed
+size and its verdict, and ``exhaustive=True`` re-checks every size below
+the reported minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..xmas import Network
+from .proof import verify
+from .result import VerificationResult
+
+__all__ = ["SizingResult", "minimal_queue_size"]
+
+
+@dataclass
+class SizingResult:
+    """Outcome of a queue-size search."""
+
+    minimal_size: int
+    probes: dict[int, bool] = field(default_factory=dict)  # size -> deadlock-free?
+    results: dict[int, VerificationResult] = field(default_factory=dict)
+
+    def pretty(self) -> str:
+        probed = ", ".join(
+            f"{size}:{'free' if free else 'deadlock'}"
+            for size, free in sorted(self.probes.items())
+        )
+        return f"minimal deadlock-free queue size = {self.minimal_size} ({probed})"
+
+
+def minimal_queue_size(
+    build: Callable[[int], Network],
+    low: int = 1,
+    max_size: int = 512,
+    exhaustive: bool = False,
+    **verify_kwargs,
+) -> SizingResult:
+    """Smallest uniform queue size for which ``build(size)`` verifies.
+
+    Parameters
+    ----------
+    build:
+        Constructs the network with every queue sized to the argument.
+    low:
+        Smallest size to consider.
+    max_size:
+        Upper limit of the exponential climb; exceeded ⇒ ``RuntimeError``.
+    exhaustive:
+        Verify every size in ``[low, found)`` is deadlocked rather than
+        trusting monotonicity.
+    verify_kwargs:
+        Forwarded to :func:`repro.core.proof.verify`.
+    """
+    probes: dict[int, bool] = {}
+    results: dict[int, VerificationResult] = {}
+
+    def probe(size: int) -> bool:
+        if size not in probes:
+            result = verify(build(size), **verify_kwargs)
+            probes[size] = result.deadlock_free
+            results[size] = result
+        return probes[size]
+
+    # Exponential climb to the first deadlock-free size.
+    size = low
+    while not probe(size):
+        size *= 2
+        if size > max_size:
+            raise RuntimeError(
+                f"no deadlock-free size found up to {max_size}; "
+                "the deadlock may be size-independent"
+            )
+    # Binary search in (last deadlocked, first free].
+    high = size
+    low_bound = max(low, size // 2)
+    while low_bound < high:
+        middle = (low_bound + high) // 2
+        if probe(middle):
+            high = middle
+        else:
+            low_bound = middle + 1
+    minimal = high
+    if exhaustive:
+        for candidate in range(low, minimal):
+            if probe(candidate):
+                raise AssertionError(
+                    f"monotonicity violated: size {candidate} verifies but "
+                    f"binary search reported {minimal}"
+                )
+    return SizingResult(minimal_size=minimal, probes=probes, results=results)

@@ -1,0 +1,22 @@
+"""Interconnect fabrics assembled from xMAS primitives.
+
+:func:`build_mesh` instantiates a store-and-forward 2D mesh with XY (or
+caller-supplied) routing and optional virtual channels into a
+:class:`~repro.xmas.NetworkBuilder`; protocol automata attach through the
+returned :class:`MeshFabric` ports.
+"""
+
+from .mesh import MeshConfig, MeshFabric, build_mesh
+from .routing import route_path, xy_routing, yx_routing
+from .topology import Direction, MeshTopology
+
+__all__ = [
+    "MeshConfig",
+    "MeshFabric",
+    "build_mesh",
+    "MeshTopology",
+    "Direction",
+    "xy_routing",
+    "yx_routing",
+    "route_path",
+]

@@ -1,0 +1,72 @@
+"""Routing algorithms for 2D meshes.
+
+XY (dimension-ordered) routing: correct the x coordinate first, then the y
+coordinate.  The turn restriction (no Y→X turns) makes the routing function
+acyclic on the channel dependence graph, so the *fabric alone* is
+deadlock-free — exactly the premise of the paper's case study, where the
+deadlocks that remain are cross-layer.
+
+Routing functions map ``(current node, message) -> Direction | None``
+(``None`` = deliver locally).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from .topology import Direction, Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..protocols.messages import Message
+
+__all__ = ["RoutingFunction", "xy_routing", "yx_routing", "route_path"]
+
+RoutingFunction = Callable[[Node, "Message"], "Direction | None"]
+
+
+def xy_routing(node: Node, message: Message) -> Direction | None:
+    """Dimension-ordered XY: fix x first, then y; None at the destination."""
+    x, y = node
+    dst_x, dst_y = message.dst
+    if dst_x > x:
+        return Direction.EAST
+    if dst_x < x:
+        return Direction.WEST
+    if dst_y > y:
+        return Direction.SOUTH
+    if dst_y < y:
+        return Direction.NORTH
+    return None
+
+
+def yx_routing(node: Node, message: Message) -> Direction | None:
+    """Dimension-ordered YX (fix y first) — for ablation experiments."""
+    x, y = node
+    dst_x, dst_y = message.dst
+    if dst_y > y:
+        return Direction.SOUTH
+    if dst_y < y:
+        return Direction.NORTH
+    if dst_x > x:
+        return Direction.EAST
+    if dst_x < x:
+        return Direction.WEST
+    return None
+
+
+def route_path(
+    routing: RoutingFunction, source: Node, message: Message, max_hops: int = 1024
+) -> list[Node]:
+    """The node sequence a message visits from ``source`` to delivery."""
+    path = [source]
+    node = source
+    for _ in range(max_hops):
+        step = routing(node, message)
+        if step is None:
+            return path
+        node = (node[0] + step.dx, node[1] + step.dy)
+        path.append(node)
+    raise RuntimeError(
+        f"routing did not converge from {source} to {message.dst} "
+        f"within {max_hops} hops"
+    )

@@ -1,0 +1,84 @@
+"""Mesh topology descriptions: coordinates, directions, neighbours."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Direction", "MeshTopology", "Node"]
+
+Node = tuple[int, int]
+
+
+class Direction(enum.Enum):
+    """Link directions; +x is EAST, +y is SOUTH (row-major screen layout)."""
+
+    NORTH = (0, -1)
+    EAST = (1, 0)
+    SOUTH = (0, 1)
+    WEST = (-1, 0)
+
+    @property
+    def dx(self) -> int:
+        return self.value[0]
+
+    @property
+    def dy(self) -> int:
+        return self.value[1]
+
+    @property
+    def opposite(self) -> "Direction":
+        return _OPPOSITE[self]
+
+    @property
+    def short(self) -> str:
+        return self.name[0]
+
+
+_OPPOSITE = {
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+}
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """A ``width × height`` 2D mesh."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be positive")
+
+    def nodes(self) -> Iterator[Node]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield (x, y)
+
+    def contains(self, node: Node) -> bool:
+        x, y = node
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def neighbour(self, node: Node, direction: Direction) -> Node | None:
+        x, y = node
+        candidate = (x + direction.dx, y + direction.dy)
+        return candidate if self.contains(candidate) else None
+
+    def neighbours(self, node: Node) -> dict[Direction, Node]:
+        result = {}
+        for direction in Direction:
+            other = self.neighbour(node, direction)
+            if other is not None:
+                result[direction] = other
+        return result
+
+    def node_count(self) -> int:
+        return self.width * self.height
+
+    def __str__(self) -> str:
+        return f"{self.width}x{self.height} mesh"

@@ -1,0 +1,261 @@
+"""Executable semantics of xMAS networks.
+
+The model is the standard endpoint-to-endpoint abstraction for
+store-and-forward xMAS analysis: state lives only in queues and automata;
+a *step* moves one packet atomically from a storage/production endpoint
+(source, queue head, automaton output) through the stateless combinational
+fabric (functions, switches, merges, forks, joins) into the next
+storage/consumption endpoint (queue, sink, automaton input).
+
+Step kinds:
+
+* ``inject`` — a fair source emits one of its colors;
+* ``advance`` — a queue forwards its head packet;
+* ``rotate`` — a ``rotating`` queue moves an un-deliverable head to its
+  tail (the paper's "stalled and moved to the end of the queue").
+
+Delivery is resolved recursively; non-determinism (an automaton with
+several enabled transitions, a join partner choice) yields several
+successor states.  Fork transfers are synchronous: both branches must be
+deliverable in the same step.
+
+The abstraction is deadlock-equivalent to the cycle-accurate semantics for
+networks whose combinational paths hold no packets between clock edges —
+true of every xMAS network by construction (channels are wires).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..xmas import (
+    Automaton,
+    Channel,
+    Fork,
+    Function,
+    Join,
+    Merge,
+    Network,
+    Queue,
+    Sink,
+    Source,
+    Switch,
+)
+from .state import ExecState, StateSpace
+
+__all__ = ["Executable", "Step"]
+
+Color = Hashable
+
+#: (kind, subject, detail) — e.g. ("inject", "src0", "token"),
+#: ("advance", "q_0_0_S", "getX[...]"), ("rotate", "ej_1_1", "putX[...]").
+Step = tuple[str, str, str]
+
+
+class Executable:
+    """Successor-state generator for a network."""
+
+    def __init__(self, network: Network):
+        network.validate()
+        self.network = network
+        self.space = StateSpace(network)
+
+    # ------------------------------------------------------------------
+    # Delivery through the stateless fabric
+    # ------------------------------------------------------------------
+    def _deliver(
+        self, channel: Channel, color: Color, state: ExecState, depth: int = 0
+    ) -> list[ExecState]:
+        """All states reachable by pushing ``color`` into ``channel`` now.
+
+        An empty list means the packet cannot currently be accepted.
+        """
+        if depth > 64:  # combinational cycles are modelling errors
+            raise RuntimeError(
+                f"delivery recursion exceeded on channel {channel.name}; "
+                "is there a queue-free cycle?"
+            )
+        target = channel.target.owner
+        port = channel.target
+
+        if isinstance(target, Queue):
+            index = self.space.queue_index[target.name]
+            contents = state.queue_contents[index]
+            if len(contents) >= target.size:
+                return []
+            return [self.space.with_queue(state, index, contents + (color,))]
+
+        if isinstance(target, Sink):
+            return [state] if target.fair else []
+
+        if isinstance(target, Function):
+            return self._deliver(
+                self.network.channel_of(target.o), target.fn(color), state, depth + 1
+            )
+
+        if isinstance(target, Switch):
+            out = target.outs[target.route(color)]
+            return self._deliver(
+                self.network.channel_of(out), color, state, depth + 1
+            )
+
+        if isinstance(target, Merge):
+            return self._deliver(
+                self.network.channel_of(target.o), color, state, depth + 1
+            )
+
+        if isinstance(target, Fork):
+            results = []
+            for first in self._deliver(
+                self.network.channel_of(target.a), target.fn_a(color), state, depth + 1
+            ):
+                results.extend(
+                    self._deliver(
+                        self.network.channel_of(target.b),
+                        target.fn_b(color),
+                        first,
+                        depth + 1,
+                    )
+                )
+            return results
+
+        if isinstance(target, Join):
+            return self._deliver_join(target, port.name, color, state, depth)
+
+        if isinstance(target, Automaton):
+            return self._deliver_automaton(target, port.name, color, state, depth)
+
+        raise TypeError(f"undeliverable target {type(target).__name__}")
+
+    def _deliver_automaton(
+        self, automaton: Automaton, port_name: str, color: Color,
+        state: ExecState, depth: int,
+    ) -> list[ExecState]:
+        index = self.space.automaton_index[automaton.name]
+        local = state.automaton_states[index]
+        results = []
+        for transition in automaton.transitions_from(local):
+            if transition.in_port != port_name or not transition.accepts(color):
+                continue
+            moved = self.space.with_automaton(state, index, transition.target)
+            output = transition.output(color)
+            if output is None:
+                results.append(moved)
+                continue
+            out_port, produced = output
+            out_channel = self.network.channel_of(automaton.port(out_port))
+            results.extend(self._deliver(out_channel, produced, moved, depth + 1))
+        return results
+
+    def _deliver_join(
+        self, join: Join, port_name: str, color: Color,
+        state: ExecState, depth: int,
+    ) -> list[ExecState]:
+        """A join fires only with a simultaneous partner packet.
+
+        The partner input must be fed directly by a queue or a source
+        (richer feeding structures would require speculative evaluation of
+        the combinational fabric; the case-study networks never need it).
+        """
+        other_port = join.b if port_name == "a" else join.a
+        partner_channel = self.network.channel_of(other_port)
+        feeder = partner_channel.initiator.owner
+        out_channel = self.network.channel_of(join.o)
+
+        def combined(da_db: tuple[Color, Color]) -> Color:
+            da, db = da_db
+            return join.combine(da, db)
+
+        def pair(partner_color: Color) -> tuple[Color, Color]:
+            if port_name == "a":
+                return (color, partner_color)
+            return (partner_color, color)
+
+        results: list[ExecState] = []
+        if isinstance(feeder, Source):
+            for partner_color in sorted(feeder.colors, key=repr):
+                results.extend(
+                    self._deliver(
+                        out_channel, combined(pair(partner_color)), state, depth + 1
+                    )
+                )
+            return results
+        if isinstance(feeder, Queue):
+            index = self.space.queue_index[feeder.name]
+            contents = state.queue_contents[index]
+            if not contents:
+                return []
+            partner_color = contents[0]
+            dequeued = self.space.with_queue(state, index, contents[1:])
+            return self._deliver(
+                out_channel, combined(pair(partner_color)), dequeued, depth + 1
+            )
+        raise NotImplementedError(
+            f"join {join.name}: partner input fed by "
+            f"{type(feeder).__name__}; only Queue/Source feeders are supported"
+        )
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+    def successors(self, state: ExecState) -> Iterator[tuple[Step, ExecState]]:
+        """All (step, next state) pairs, including rotations."""
+        yield from self.progress_successors(state)
+        yield from self.rotation_successors(state)
+
+    def progress_successors(
+        self, state: ExecState
+    ) -> Iterator[tuple[Step, ExecState]]:
+        for source in self.network.sources():
+            channel = self.network.channel_of(source.o)
+            for color in sorted(source.colors, key=repr):
+                for result in self._deliver(channel, color, state):
+                    yield ("inject", source.name, repr(color)), result
+        for queue in self.space.queues:
+            index = self.space.queue_index[queue.name]
+            contents = state.queue_contents[index]
+            if not contents:
+                continue
+            head = contents[0]
+            dequeued = self.space.with_queue(state, index, contents[1:])
+            channel = self.network.channel_of(queue.o)
+            for result in self._deliver(channel, head, dequeued):
+                yield ("advance", queue.name, repr(head)), result
+
+    def rotation_successors(
+        self, state: ExecState
+    ) -> Iterator[tuple[Step, ExecState]]:
+        """Head-to-tail moves of rotating queues with stuck heads."""
+        for queue in self.space.queues:
+            if not queue.rotating:
+                continue
+            index = self.space.queue_index[queue.name]
+            contents = state.queue_contents[index]
+            if len(contents) < 2:
+                continue  # rotating a singleton is a no-op
+            head = contents[0]
+            dequeued = self.space.with_queue(state, index, contents[1:])
+            channel = self.network.channel_of(queue.o)
+            if self._deliver(channel, head, dequeued):
+                continue  # head can make progress; rotation not needed
+            rotated = contents[1:] + (contents[0],)
+            yield ("rotate", queue.name, repr(head)), self.space.with_queue(
+                state, index, rotated
+            )
+
+    # ------------------------------------------------------------------
+    # Deadlock predicate
+    # ------------------------------------------------------------------
+    def is_dead(self, state: ExecState) -> bool:
+        """No progress step is enabled anywhere in the rotation closure."""
+        seen = {state}
+        frontier = [state]
+        while frontier:
+            current = frontier.pop()
+            for _, _next in self.progress_successors(current):
+                return False
+            for _, rotated in self.rotation_successors(current):
+                if rotated not in seen:
+                    seen.add(rotated)
+                    frontier.append(rotated)
+        return True

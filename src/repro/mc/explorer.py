@@ -1,0 +1,124 @@
+"""Breadth-first reachability over the executable semantics.
+
+This is the reproduction's stand-in for the paper's UPPAAL runs: it
+confirms (on small configurations) that deadlock candidates reported by
+the SMT pipeline are actually reachable, and that verified configurations
+have no reachable deadlock within an exhaustive (or bounded) search.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from ..xmas import Network
+from .executable import Executable, Step
+from .state import ExecState
+
+__all__ = ["ExplorationResult", "Explorer"]
+
+Color = Hashable
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a (possibly bounded) reachability run."""
+
+    states_explored: int
+    exhausted: bool  # True iff the full reachable space was covered
+    deadlock: ExecState | None = None
+    trace: list[Step] = field(default_factory=list)
+
+    @property
+    def found_deadlock(self) -> bool:
+        return self.deadlock is not None
+
+
+class Explorer:
+    """BFS reachability with deadlock detection and witness matching."""
+
+    def __init__(self, network: Network):
+        self.executable = Executable(network)
+        self.space = self.executable.space
+
+    # ------------------------------------------------------------------
+    def find_deadlock(
+        self,
+        max_states: int = 200_000,
+        stop_predicate: Callable[[ExecState], bool] | None = None,
+    ) -> ExplorationResult:
+        """Search for a dead state (optionally a specific one).
+
+        ``stop_predicate`` narrows the search: only states satisfying it
+        are tested for deadness (used to confirm a particular SMT witness
+        shape).  Returns the trace of steps from the initial state.
+        """
+        executable = self.executable
+        initial = self.space.initial_state()
+        parent: dict[ExecState, tuple[ExecState, Step] | None] = {initial: None}
+        frontier: deque[ExecState] = deque([initial])
+        explored = 0
+        while frontier:
+            state = frontier.popleft()
+            explored += 1
+            candidate = stop_predicate is None or stop_predicate(state)
+            if candidate and executable.is_dead(state):
+                return ExplorationResult(
+                    states_explored=explored,
+                    exhausted=False,
+                    deadlock=state,
+                    trace=self._trace(parent, state),
+                )
+            for step, successor in executable.successors(state):
+                if successor not in parent:
+                    parent[successor] = (state, step)
+                    frontier.append(successor)
+            if len(parent) > max_states:
+                return ExplorationResult(states_explored=explored, exhausted=False)
+        return ExplorationResult(states_explored=explored, exhausted=True)
+
+    def confirm_witness(
+        self,
+        automaton_states: dict[str, str],
+        queue_contents: dict[str, dict[Color, int]],
+        max_states: int = 200_000,
+    ) -> ExplorationResult:
+        """Search for a *dead* reachable state matching an SMT witness.
+
+        Matching is up to queue-content multisets (the SMT model has no
+        packet order) and exact automaton states.
+        """
+
+        def matches(state: ExecState) -> bool:
+            for name, expected in automaton_states.items():
+                index = self.space.automaton_index[name]
+                if state.automaton_states[index] != expected:
+                    return False
+            for name, expected_multiset in queue_contents.items():
+                index = self.space.queue_index[name]
+                actual: dict[Color, int] = {}
+                for color in state.queue_contents[index]:
+                    actual[color] = actual.get(color, 0) + 1
+                if actual != {c: n for c, n in expected_multiset.items() if n}:
+                    return False
+            return True
+
+        return self.find_deadlock(max_states=max_states, stop_predicate=matches)
+
+    # ------------------------------------------------------------------
+    def _trace(
+        self,
+        parent: dict[ExecState, tuple[ExecState, Step] | None],
+        state: ExecState,
+    ) -> list[Step]:
+        steps: list[Step] = []
+        cursor: ExecState | None = state
+        while cursor is not None:
+            entry = parent[cursor]
+            if entry is None:
+                break
+            cursor, step = entry
+            steps.append(step)
+        steps.reverse()
+        return steps

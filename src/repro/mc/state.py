@@ -1,0 +1,67 @@
+"""Global states of the executable xMAS semantics.
+
+A state is the pair (automaton states, queue contents); everything else in
+an xMAS network is stateless.  States are plain tuples, hashable and cheap
+to copy, because the explorer stores millions of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..xmas import Network
+
+__all__ = ["ExecState", "StateSpace"]
+
+Color = Hashable
+
+
+@dataclass(frozen=True)
+class ExecState:
+    """An immutable global configuration."""
+
+    automaton_states: tuple[str, ...]
+    queue_contents: tuple[tuple[Color, ...], ...]
+
+    def describe(self, space: "StateSpace") -> str:
+        lines = []
+        for name, state in zip(space.automaton_names, self.automaton_states):
+            lines.append(f"{name}={state}")
+        for name, contents in zip(space.queue_names, self.queue_contents):
+            if contents:
+                lines.append(f"{name}={list(contents)!r}")
+        return ", ".join(lines)
+
+
+class StateSpace:
+    """Index maps between a network and the tuple layout of its states."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.automata = sorted(network.automata(), key=lambda a: a.name)
+        self.queues = sorted(network.queues(), key=lambda q: q.name)
+        self.automaton_names = [a.name for a in self.automata]
+        self.queue_names = [q.name for q in self.queues]
+        self.automaton_index = {a.name: i for i, a in enumerate(self.automata)}
+        self.queue_index = {q.name: i for i, q in enumerate(self.queues)}
+
+    def initial_state(self) -> ExecState:
+        return ExecState(
+            automaton_states=tuple(a.initial for a in self.automata),
+            queue_contents=tuple(() for _ in self.queues),
+        )
+
+    def with_automaton(
+        self, state: ExecState, index: int, new_local_state: str
+    ) -> ExecState:
+        states = list(state.automaton_states)
+        states[index] = new_local_state
+        return ExecState(tuple(states), state.queue_contents)
+
+    def with_queue(
+        self, state: ExecState, index: int, contents: tuple[Color, ...]
+    ) -> ExecState:
+        queues = list(state.queue_contents)
+        queues[index] = contents
+        return ExecState(state.automaton_states, tuple(queues))

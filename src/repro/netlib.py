@@ -1,0 +1,136 @@
+"""Small ready-made networks used by examples, tests and benchmarks.
+
+The centrepiece is :func:`running_example` — Figure 1 of the paper: two
+automata S and T connected through two queues.  S injects requests and
+consumes acknowledgments; T consumes requests and injects acknowledgments.
+Injection is triggered by local fair token sources, exactly as the paper's
+semantics require (every transition is triggered by an in-channel packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .xmas import Automaton, Network, NetworkBuilder, Queue, Transition
+
+__all__ = ["RunningExample", "running_example", "token_ring", "producer_consumer"]
+
+TOKEN = "token"
+REQ = "req"
+ACK = "ack"
+
+
+@dataclass
+class RunningExample:
+    """Handles into the Figure-1 network."""
+
+    network: Network
+    sender: Automaton
+    receiver: Automaton
+    q_req: Queue
+    q_ack: Queue
+
+
+def running_example(queue_size: int = 2) -> RunningExample:
+    """Figure 1: automata S and T connected by two xMAS queues.
+
+    ``S``: s0 --req!--> s1, s1 --ack?--> s0.
+    ``T``: t0 --req?--> t1, t1 --ack!--> t0.
+    """
+    builder = NetworkBuilder("running-example")
+    q_req = builder.queue("q0", size=queue_size)
+    q_ack = builder.queue("q1", size=queue_size)
+    src_s = builder.source("srcS", colors={TOKEN})
+    src_t = builder.source("srcT", colors={TOKEN})
+
+    sender = builder.automaton(
+        "S",
+        states=["s0", "s1"],
+        initial="s0",
+        in_ports=["token", "ack_in"],
+        out_ports=["req_out"],
+        transitions=[
+            Transition(
+                name="req!",
+                origin="s0",
+                target="s1",
+                in_port="token",
+                out_port="req_out",
+                produce=lambda _d: REQ,
+            ),
+            Transition(
+                name="ack?",
+                origin="s1",
+                target="s0",
+                in_port="ack_in",
+                guard=lambda d: d == ACK,
+            ),
+        ],
+    )
+    receiver = builder.automaton(
+        "T",
+        states=["t0", "t1"],
+        initial="t0",
+        in_ports=["req_in", "token"],
+        out_ports=["ack_out"],
+        transitions=[
+            Transition(
+                name="req?",
+                origin="t0",
+                target="t1",
+                in_port="req_in",
+                guard=lambda d: d == REQ,
+            ),
+            Transition(
+                name="ack!",
+                origin="t1",
+                target="t0",
+                in_port="token",
+                out_port="ack_out",
+                produce=lambda _d: ACK,
+            ),
+        ],
+    )
+
+    builder.connect(src_s.o, sender.port("token"))
+    builder.connect(src_t.o, receiver.port("token"))
+    builder.connect(sender.port("req_out"), q_req.i, name="s_to_q0")
+    builder.connect(q_req.o, receiver.port("req_in"), name="q0_to_t")
+    builder.connect(receiver.port("ack_out"), q_ack.i, name="t_to_q1")
+    builder.connect(q_ack.o, sender.port("ack_in"), name="q1_to_s")
+    network = builder.build()
+    return RunningExample(network, sender, receiver, q_req, q_ack)
+
+
+def producer_consumer(queue_size: int = 2) -> Network:
+    """A source feeding a sink through one queue — the smallest live net."""
+    builder = NetworkBuilder("producer-consumer")
+    src = builder.source("src", colors={"pkt"})
+    q = builder.queue("q", size=queue_size)
+    snk = builder.sink("snk")
+    builder.connect(src.o, q.i)
+    builder.connect(q.o, snk.i)
+    return builder.build()
+
+
+def token_ring(n_stations: int = 3, queue_size: int = 1) -> Network:
+    """A ring of queues circulating a token via merges — no source/sink.
+
+    Every station forwards the token to the next queue.  The ring is built
+    from queues and functions only; with an automaton-free cycle it
+    exercises cyclic block/idle equations.  A source injects the initial
+    token through a merge at station 0 and a switch lets it leave to a sink
+    with probability encoded by color (never, here), keeping the net closed.
+    """
+    if n_stations < 2:
+        raise ValueError("token_ring needs >= 2 stations")
+    builder = NetworkBuilder(f"token-ring-{n_stations}")
+    queues = [builder.queue(f"q{i}", size=queue_size) for i in range(n_stations)]
+    entry = builder.merge("entry", n_inputs=2)
+    src = builder.source("src", colors={"tok"})
+    builder.connect(src.o, entry.ins[0])
+    builder.connect(entry.o, queues[0].i)
+    for i in range(n_stations - 1):
+        builder.connect(queues[i].o, queues[i + 1].i)
+    builder.connect(queues[-1].o, entry.ins[1])
+    return builder.build(validate=True)

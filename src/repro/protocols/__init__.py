@@ -1,0 +1,44 @@
+"""Cache coherence protocols modelled as xMAS automata.
+
+* :mod:`repro.protocols.abstract_mi` — the paper's artificial get/put/inv/
+  ack protocol (Figure 2) on a mesh.
+* :mod:`repro.protocols.mi_gem5` — the GEM5-``MI_example``-inspired full MI
+  protocol with cache-to-cache forwarding, write-back ack/nack and DMA.
+"""
+
+from .abstract_mi import (
+    AbstractMIInstance,
+    abstract_mi_ether,
+    abstract_mi_mesh,
+    build_cache_automaton,
+    build_directory_automaton,
+    request_response_vc,
+)
+from .messages import TOKEN, Message
+from .mi_gem5 import (
+    MIInstance,
+    build_mi_cache,
+    build_mi_directory,
+    build_mi_dma,
+    mi_ether,
+    mi_mesh,
+    mi_vc_assignment,
+)
+
+__all__ = [
+    "Message",
+    "TOKEN",
+    "AbstractMIInstance",
+    "abstract_mi_mesh",
+    "abstract_mi_ether",
+    "build_cache_automaton",
+    "build_directory_automaton",
+    "request_response_vc",
+    "MIInstance",
+    "mi_mesh",
+    "mi_ether",
+    "build_mi_cache",
+    "build_mi_directory",
+    "build_mi_dma",
+    "mi_vc_assignment",
+]

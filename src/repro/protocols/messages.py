@@ -1,0 +1,42 @@
+"""Coherence protocol messages — the packet colors of the case study.
+
+A :class:`Message` is a frozen, hashable record carrying the message type
+plus source and destination node coordinates, exactly as the paper
+describes ("8 different types of messages, each parameterized with
+destination and source nodes").  The optional ``vc`` field selects a
+virtual channel class when the fabric is built with VCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Message", "Node", "TOKEN"]
+
+Node = tuple[int, int]
+
+#: The color used by local "decide" token sources that trigger spontaneous
+#: automaton transitions (get injection, replacement, invalidation).
+TOKEN = "token"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol packet."""
+
+    mtype: str
+    src: Node
+    dst: Node
+    vc: int = 0
+
+    def label(self) -> str:
+        base = (
+            f"{self.mtype}[{self.src[0]}{self.src[1]}->{self.dst[0]}{self.dst[1]}]"
+        )
+        return f"{base}@vc{self.vc}" if self.vc else base
+
+    def with_vc(self, vc: int) -> "Message":
+        return replace(self, vc=vc)
+
+    def __repr__(self) -> str:
+        return self.label()

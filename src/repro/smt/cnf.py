@@ -1,0 +1,119 @@
+"""Tseitin conversion of the term language into CNF.
+
+Every distinct subterm receives one SAT variable (``Not`` is represented by
+literal polarity, not a variable).  Arithmetic atoms keep a side table
+mapping their SAT variable to the :class:`~repro.smt.terms.LinearAtom`, which
+the theory bridge consumes.
+
+The conversion is iterative (explicit stack), so arbitrarily deep formulas
+cannot overflow the Python recursion limit.
+"""
+
+from __future__ import annotations
+
+from .terms import FALSE, TRUE, And, Atom, BoolConst, BoolVar, LinearAtom, Not, Or, Term
+
+__all__ = ["CnfBuilder"]
+
+
+class CnfBuilder:
+    """Accumulates terms and produces clauses over integer literals.
+
+    Literals follow the DIMACS convention: variable ``v`` is a positive
+    integer, its negation is ``-v``.
+    """
+
+    def __init__(self) -> None:
+        self.n_vars = 0
+        self.clauses: list[list[int]] = []
+        self.unsatisfiable = False
+        self.atom_of_var: dict[int, LinearAtom] = {}
+        self.var_of_atom: dict[LinearAtom, int] = {}
+        self.var_of_boolname: dict[str, int] = {}
+        self._lit_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.n_vars += 1
+        return self.n_vars
+
+    def var_for_atom(self, atom: LinearAtom) -> int:
+        """SAT variable representing ``atom`` (shared across occurrences)."""
+        var = self.var_of_atom.get(atom)
+        if var is None:
+            var = self.new_var()
+            self.var_of_atom[atom] = var
+            self.atom_of_var[var] = atom
+        return var
+
+    def var_for_boolname(self, name: str) -> int:
+        var = self.var_of_boolname.get(name)
+        if var is None:
+            var = self.new_var()
+            self.var_of_boolname[name] = var
+        return var
+
+    # ------------------------------------------------------------------
+    def assert_term(self, term: Term) -> None:
+        """Add ``term`` as a top-level assertion."""
+        if term is TRUE:
+            return
+        if term is FALSE:
+            self.unsatisfiable = True
+            return
+        self.clauses.append([self.literal(term)])
+
+    def literal(self, term: Term) -> int:
+        """The literal standing for ``term``, emitting definition clauses."""
+        cached = self._lit_cache.get(term.uid)
+        if cached is not None:
+            return cached
+
+        # Iterative post-order: children first, then define the node.
+        stack: list[tuple[Term, bool]] = [(term, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.uid in self._lit_cache:
+                continue
+            if isinstance(node, Not):
+                if node.arg.uid in self._lit_cache:
+                    self._lit_cache[node.uid] = -self._lit_cache[node.arg.uid]
+                else:
+                    stack.append((node, False))
+                    stack.append((node.arg, False))
+                continue
+            if isinstance(node, BoolConst):
+                # TRUE/FALSE inside compound terms are folded away by the
+                # smart constructors; reaching one here means a bare assert,
+                # handled in assert_term.  Encode defensively anyway.
+                var = self.new_var()
+                self.clauses.append([var] if node.value else [-var])
+                self._lit_cache[node.uid] = var
+                continue
+            if isinstance(node, BoolVar):
+                self._lit_cache[node.uid] = self.var_for_boolname(node.name)
+                continue
+            if isinstance(node, Atom):
+                self._lit_cache[node.uid] = self.var_for_atom(node.constraint)
+                continue
+            # And / Or
+            children = node.args  # type: ignore[attr-defined]
+            if not expanded:
+                stack.append((node, True))
+                stack.extend((child, False) for child in children)
+                continue
+            child_lits = [self._lit_cache[child.uid] for child in children]
+            gate = self.new_var()
+            if isinstance(node, And):
+                for lit in child_lits:
+                    self.clauses.append([-gate, lit])
+                self.clauses.append([gate] + [-lit for lit in child_lits])
+            elif isinstance(node, Or):
+                for lit in child_lits:
+                    self.clauses.append([gate, -lit])
+                self.clauses.append([-gate] + child_lits)
+            else:  # pragma: no cover - exhaustive over term kinds
+                raise TypeError(f"unexpected term {node!r}")
+            self._lit_cache[node.uid] = gate
+
+        return self._lit_cache[term.uid]

@@ -1,0 +1,131 @@
+"""The linear-integer-arithmetic theory bridge.
+
+Connects the CDCL core (:mod:`repro.smt.sat`) to the exact simplex
+(:mod:`repro.smt.simplex`):
+
+* every :class:`~repro.smt.terms.LinearAtom` whose SAT variable occurs in
+  the CNF is registered here;
+* single-variable atoms (``±x ≤ b``, which is what gcd normalisation reduces
+  them to) assert bounds directly on the variable's theory column;
+* multi-variable atoms get one shared *slack* variable per linear form
+  (forms differing only by sign share the slack);
+* a positive literal asserts the atom's ``≤`` bound, a negative literal the
+  integer-negated ``≥`` bound;
+* rational feasibility is enforced incrementally along the SAT trail, and
+  integrality of the problem variables is obtained by branch-and-bound
+  splitting, driven by :class:`repro.smt.solver.Solver`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .simplex import Simplex
+from .terms import IntVar, LinearAtom
+
+__all__ = ["LiaBridge"]
+
+
+class LiaBridge:
+    """Theory listener for the CDCL solver (see ``TheoryListener``)."""
+
+    def __init__(self) -> None:
+        self.simplex = Simplex()
+        self._var_of_int: dict[IntVar, int] = {}
+        self._slack_of_form: dict[tuple[tuple[int, int], ...], int] = {}
+        # satvar -> (theory var, coeff sign, pos bound, neg bound);
+        # "pos bound" is asserted as upper bound when the literal is positive.
+        self._atom_info: dict[int, tuple[int, int, int]] = {}
+        # Undo alignment with the SAT trail: _marks[i] is the simplex undo
+        # length before trail position i was asserted.
+        self._marks: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def theory_var(self, var: IntVar) -> int:
+        column = self._var_of_int.get(var)
+        if column is None:
+            column = self.simplex.new_var()
+            self._var_of_int[var] = column
+        return column
+
+    def register_atom(self, satvar: int, atom: LinearAtom) -> None:
+        """Make ``satvar``'s polarity control the constraint ``atom``."""
+        if satvar in self._atom_info:
+            return
+        if len(atom.coeffs) == 1:
+            var, coeff = atom.coeffs[0]
+            # gcd normalisation leaves single-variable coefficients at ±1.
+            assert coeff in (1, -1), atom
+            column = self.theory_var(var)
+            self._atom_info[satvar] = (column, coeff, atom.bound)
+            return
+        form = tuple((v.uid, c) for v, c in atom.coeffs)
+        sign = 1
+        negated = tuple((uid, -c) for uid, c in form)
+        if negated in self._slack_of_form:
+            form, sign = negated, -1
+        slack = self._slack_of_form.get(form)
+        if slack is None:
+            combo = {self.theory_var(v): Fraction(c) for v, c in atom.coeffs}
+            slack = self.simplex.define(combo)
+            self._slack_of_form[form] = slack
+        self._atom_info[satvar] = (slack, sign, atom.bound)
+
+    def has_atom(self, satvar: int) -> bool:
+        return satvar in self._atom_info
+
+    # ------------------------------------------------------------------
+    # TheoryListener interface
+    # ------------------------------------------------------------------
+    def assert_index(self, index: int, lit: int) -> list[int] | None:
+        assert index == len(self._marks), "trail misalignment"
+        self._marks.append(self.simplex.undo_length())
+        info = self._atom_info.get(abs(lit))
+        if info is None:
+            return None
+        column, sign, bound = info
+        # sign=-1 means the shared slack carries the *negated* form, so the
+        # atom "form <= bound" reads "slack >= -bound" on that column.
+        if lit > 0:
+            if sign > 0:
+                conflict = self.simplex.assert_upper(column, Fraction(bound), lit)
+            else:
+                conflict = self.simplex.assert_lower(column, Fraction(-bound), lit)
+        else:
+            if sign > 0:
+                conflict = self.simplex.assert_lower(column, Fraction(bound + 1), lit)
+            else:
+                conflict = self.simplex.assert_upper(column, Fraction(-bound - 1), lit)
+        if conflict is not None:
+            return conflict
+        return self.simplex.check()
+
+    def pop_to(self, trail_length: int) -> None:
+        if len(self._marks) > trail_length:
+            self.simplex.undo_to(self._marks[trail_length])
+            del self._marks[trail_length:]
+
+    def final_check(self) -> list[int] | None:
+        return self.simplex.check(full=True)
+
+    # ------------------------------------------------------------------
+    # Model access / branching support
+    # ------------------------------------------------------------------
+    def known_int_vars(self) -> list[IntVar]:
+        return list(self._var_of_int)
+
+    def rational_value(self, var: IntVar) -> Fraction:
+        column = self._var_of_int.get(var)
+        if column is None:
+            return Fraction(0)
+        return self.simplex.value(column)
+
+    def fractional_var(self) -> tuple[IntVar, Fraction] | None:
+        """An integer problem variable with a non-integral simplex value."""
+        for var, column in self._var_of_int.items():
+            value = self.simplex.value(column)
+            if value.denominator != 1:
+                return var, value
+        return None

@@ -1,0 +1,417 @@
+"""A CDCL SAT solver.
+
+Implements the standard modern architecture: two-watched-literal
+propagation, first-UIP conflict analysis with clause learning, VSIDS
+branching with phase saving, and Luby restarts.  A theory listener can be
+attached for DPLL(T) integration; it is kept in sync with the trail and may
+report conflicts as lists of literals (the negation of a theory-inconsistent
+set of asserted literals).
+
+The solver is deliberately self-contained (plain lists, no numpy) so its
+behaviour is easy to audit — it is part of the trusted base of the
+verification results.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Iterable, Protocol, Sequence
+
+__all__ = ["Cdcl", "TheoryListener", "SAT", "UNSAT"]
+
+SAT = "sat"
+UNSAT = "unsat"
+
+_UNDEF = 0
+
+
+class TheoryListener(Protocol):
+    """Callbacks the CDCL core uses to keep a theory solver in sync."""
+
+    def assert_index(self, index: int, lit: int) -> list[int] | None:
+        """Notify that trail position ``index`` holds ``lit``.
+
+        Returns ``None`` when consistent, otherwise a conflict explanation:
+        a list of asserted literals whose conjunction is theory-inconsistent.
+        """
+
+    def pop_to(self, trail_length: int) -> None:
+        """Undo all assertions at trail positions ≥ ``trail_length``."""
+
+    def final_check(self) -> list[int] | None:
+        """Full-assignment check; same contract as :meth:`assert_index`."""
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence.
+
+    Standard formulation: find the smallest complete binary sequence of
+    length ``2^seq − 1`` covering position ``i``, then recurse into the
+    remainder (iteratively).
+    """
+    index = i - 1  # zero-based position
+    size, seq = 1, 0
+    while size < index + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        seq -= 1
+        index %= size
+    return 1 << seq
+
+
+class Cdcl:
+    """Conflict-driven clause-learning SAT solver with theory hooks."""
+
+    def __init__(self, theory: TheoryListener | None = None):
+        self.theory = theory
+        self.n_vars = 0
+        self.clauses: list[list[int]] = []
+        self._watches: list[list[int]] = [[], []]  # indexed by literal code
+        self._assign: list[int] = [0]  # 1 true, -1 false, 0 undef; index by var
+        self._level: list[int] = [0]
+        self._reason: list[int] = [-1]  # clause index, -1 for decisions
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._theory_qhead = 0
+        self._heap: list[tuple[float, int]] = []
+        self._var_inc = 1.0
+        self._ok = True
+        self.stats = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.n_vars += 1
+        self._assign.append(_UNDEF)
+        self._level.append(0)
+        self._reason.append(-1)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        heappush(self._heap, (0.0, self.n_vars))
+        return self.n_vars
+
+    def ensure_vars(self, n: int) -> None:
+        while self.n_vars < n:
+            self.new_var()
+
+    @staticmethod
+    def _code(lit: int) -> int:
+        return 2 * lit if lit > 0 else -2 * lit + 1
+
+    def _value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Add a clause, rewinding to the root level first if needed."""
+        self._backjump(0)
+        if not self._ok:
+            return
+        seen: set[int] = set()
+        filtered: list[int] = []
+        for lit in lits:
+            if lit in seen:
+                continue
+            if -lit in seen:
+                return  # tautology
+            value = self._value(lit)
+            if value == 1:
+                return  # already satisfied at level 0
+            if value == -1:
+                continue  # false at level 0: drop the literal
+            seen.add(lit)
+            filtered.append(lit)
+        if not filtered:
+            self._ok = False
+            return
+        if len(filtered) == 1:
+            self._enqueue(filtered[0], -1)
+            return
+        self._attach(filtered)
+
+    def _attach(self, lits: list[int]) -> int:
+        index = len(self.clauses)
+        self.clauses.append(lits)
+        self._watches[self._code(-lits[0])].append(index)
+        self._watches[self._code(-lits[1])].append(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # Trail manipulation
+    # ------------------------------------------------------------------
+    @property
+    def decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        var = abs(lit)
+        value = self._value(lit)
+        if value == 1:
+            return True
+        if value == -1:
+            return False
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = self.decision_level
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _backjump(self, level: int) -> None:
+        if self.decision_level <= level:
+            return
+        boundary = self._trail_lim[level]
+        for lit in self._trail[boundary:]:
+            var = abs(lit)
+            self._phase[var] = lit > 0
+            self._assign[var] = _UNDEF
+            heappush(self._heap, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+        if self.theory is not None:
+            self.theory.pop_to(len(self._trail))
+            self._theory_qhead = min(self._theory_qhead, len(self._trail))
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns the conflicting clause's literals."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            code = self._code(lit)
+            watch_list = self._watches[code]
+            kept: list[int] = []
+            conflict: list[int] | None = None
+            for position, clause_index in enumerate(watch_list):
+                clause = self.clauses[clause_index]
+                # Normalise: the false literal (-lit) goes to slot 1.
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    kept.append(clause_index)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[self._code(-clause[1])].append(clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause_index)
+                if self._value(first) == -1:
+                    kept.extend(watch_list[position + 1 :])
+                    conflict = clause
+                    break
+                self._enqueue(first, clause_index)
+            self._watches[code] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _theory_sync(self) -> list[int] | None:
+        """Feed newly assigned literals to the theory listener."""
+        if self.theory is None:
+            return None
+        while self._theory_qhead < len(self._trail):
+            index = self._theory_qhead
+            lit = self._trail[index]
+            self._theory_qhead += 1
+            explanation = self.theory.assert_index(index, lit)
+            if explanation is not None:
+                return [-l for l in explanation]
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.n_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heappush(self._heap, (-self._activity[var], var))
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP analysis.  ``conflict`` literals are all false.
+
+        Returns ``(learnt_clause, backjump_level)`` where ``learnt_clause[0]``
+        is the asserting literal.
+        """
+        current = self.decision_level
+        learnt: list[int] = []
+        seen = [False] * (self.n_vars + 1)
+        counter = 0
+        reason_lits: Iterable[int] = conflict
+        index = len(self._trail) - 1
+        asserting_lit = 0
+        while True:
+            for lit in reason_lits:
+                var = abs(lit)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] == current:
+                    counter += 1
+                else:
+                    learnt.append(lit)
+            # Walk the trail backwards to the next marked literal.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            p = self._trail[index]
+            index -= 1
+            var = abs(p)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                asserting_lit = -p
+                break
+            reason_index = self._reason[var]
+            reason_lits = [l for l in self.clauses[reason_index] if l != p]
+        learnt.insert(0, asserting_lit)
+        # Conflict-clause minimisation: drop literals implied by the rest.
+        learnt = self._minimise(learnt, seen)
+        if len(learnt) == 1:
+            return learnt, 0
+        # Move the highest-level literal (after the asserting one) to slot 1.
+        best = max(range(1, len(learnt)), key=lambda i: self._level[abs(learnt[i])])
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        return learnt, self._level[abs(learnt[1])]
+
+    def _minimise(self, learnt: list[int], seen: list[bool]) -> list[int]:
+        """Cheap local minimisation: a literal whose reason is a subset of
+        the clause (plus level-0 literals) is redundant."""
+        marked = set(abs(l) for l in learnt)
+        result = [learnt[0]]
+        for lit in learnt[1:]:
+            reason_index = self._reason[abs(lit)]
+            if reason_index == -1:
+                result.append(lit)
+                continue
+            reason = self.clauses[reason_index]
+            if all(
+                abs(other) in marked or self._level[abs(other)] == 0
+                for other in reason
+                if abs(other) != abs(lit)
+            ):
+                continue  # redundant
+            result.append(lit)
+        return result
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _decide(self) -> bool:
+        while self._heap:
+            _, var = heappop(self._heap)
+            if self._assign[var] == _UNDEF:
+                self.stats["decisions"] += 1
+                self._trail_lim.append(len(self._trail))
+                lit = var if self._phase[var] else -var
+                self._enqueue(lit, -1)
+                return True
+        # Heap exhausted: scan for any unassigned variable (stale heap).
+        for var in range(1, self.n_vars + 1):
+            if self._assign[var] == _UNDEF:
+                self.stats["decisions"] += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(var if self._phase[var] else -var, -1)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, max_conflicts: int | None = None) -> str:
+        """Run search to a verdict.  Call repeatedly after adding clauses."""
+        if not self._ok:
+            return UNSAT
+        self._backjump(0)
+        restart_unit = 128
+        restart_count = 0
+        budget = _luby(restart_count + 1) * restart_unit
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is None:
+                conflict_lits = self._theory_sync()
+            else:
+                conflict_lits = conflict
+            if conflict_lits is not None:
+                self.stats["conflicts"] += 1
+                conflicts_here += 1
+                if max_conflicts is not None and self.stats["conflicts"] > max_conflicts:
+                    raise BudgetExceeded(self.stats["conflicts"])
+                # A theory conflict may live entirely below the current level.
+                top = max(
+                    (self._level[abs(l)] for l in conflict_lits), default=0
+                )
+                if top == 0:
+                    self._ok = False
+                    return UNSAT
+                if top < self.decision_level:
+                    self._backjump(top)
+                learnt, back_level = self._analyze(conflict_lits)
+                self._backjump(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], -1):
+                        self._ok = False
+                        return UNSAT
+                else:
+                    index = self._attach(learnt)
+                    self._enqueue(learnt[0], index)
+                self._var_inc /= 0.95
+                continue
+            if conflicts_here >= budget:
+                self.stats["restarts"] += 1
+                restart_count += 1
+                budget = _luby(restart_count + 1) * restart_unit
+                conflicts_here = 0
+                self._backjump(0)
+                continue
+            if not self._decide():
+                if self.theory is not None:
+                    explanation = self.theory.final_check()
+                    if explanation is not None:
+                        conflict_lits = [-l for l in explanation]
+                        self.stats["conflicts"] += 1
+                        top = max(
+                            (self._level[abs(l)] for l in conflict_lits), default=0
+                        )
+                        if top == 0:
+                            self._ok = False
+                            return UNSAT
+                        self._backjump(top)
+                        learnt, back_level = self._analyze(conflict_lits)
+                        self._backjump(back_level)
+                        if len(learnt) == 1:
+                            if not self._enqueue(learnt[0], -1):
+                                self._ok = False
+                                return UNSAT
+                        else:
+                            index = self._attach(learnt)
+                            self._enqueue(learnt[0], index)
+                        continue
+                return SAT
+
+    def model_value(self, var: int) -> bool:
+        return self._assign[var] == 1
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when the conflict budget passed to :meth:`Cdcl.solve` runs out."""

@@ -1,0 +1,149 @@
+"""Public SMT solver facade.
+
+Usage::
+
+    from repro.smt import Solver, Result, intvar, le
+
+    x = intvar("x")
+    solver = Solver()
+    solver.add(le(0, x))
+    solver.add(le(x, 5))
+    solver.add(le(3, x + 1))
+    if solver.check() == Result.SAT:
+        print(solver.model()[x])
+
+The solver decides quantifier-free linear integer arithmetic with arbitrary
+boolean structure.  Rational relaxations are solved by the exact simplex;
+integrality is enforced by branch-and-bound: whenever the SAT+LRA search
+finds a model with a fractional integer variable ``x = v``, the globally
+valid split clause ``(x ≤ ⌊v⌋) ∨ (x ≥ ⌊v⌋+1)`` is added and the search
+resumes with all learned clauses intact.
+
+Branch-and-bound terminates whenever every integer variable is bounded by
+the constraints (true for every formula ADVOCAT generates: occupancies lie
+in ``[0, queue.size]`` and state variables in ``[0, 1]``).  A ``max_splits``
+safety valve raises :class:`SolverBudgetError` otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from math import floor
+
+from .cnf import CnfBuilder
+from .lia import LiaBridge
+from .sat import SAT, Cdcl
+from .terms import IntVar, Term, ge, le
+
+__all__ = ["Solver", "Result", "Model", "SolverBudgetError"]
+
+
+class Result(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+
+
+class SolverBudgetError(RuntimeError):
+    """The branch-and-bound split budget was exhausted."""
+
+
+class Model:
+    """A satisfying assignment; index with :class:`IntVar`, BoolVar or name."""
+
+    def __init__(self, ints: dict[IntVar, int], bools: dict[str, bool]):
+        self._ints = ints
+        self._bools = bools
+
+    def __getitem__(self, key: IntVar | Term | str) -> int | bool:
+        if isinstance(key, IntVar):
+            return self._ints.get(key, 0)
+        if isinstance(key, str):
+            return self._bools.get(key, False)
+        name = getattr(key, "name", None)
+        if name is not None:
+            return self._bools.get(name, False)
+        raise KeyError(key)
+
+    def int_items(self) -> dict[IntVar, int]:
+        return dict(self._ints)
+
+    def bool_items(self) -> dict[str, bool]:
+        return dict(self._bools)
+
+
+class Solver:
+    """Incremental QF_LIA solver over the repro term language."""
+
+    def __init__(self, max_splits: int = 100_000):
+        self._assertions: list[Term] = []
+        self._max_splits = max_splits
+        self._model: Model | None = None
+        self.stats: dict[str, int] = {}
+
+    def add(self, term: Term) -> None:
+        """Assert ``term``; invalidates any previously extracted model."""
+        self._assertions.append(term)
+        self._model = None
+
+    def check(self) -> Result:
+        """Decide the conjunction of all added assertions."""
+        cnf = CnfBuilder()
+        for term in self._assertions:
+            cnf.assert_term(term)
+        if cnf.unsatisfiable:
+            self.stats = {"conflicts": 0, "decisions": 0, "splits": 0}
+            return Result.UNSAT
+
+        bridge = LiaBridge()
+        sat = Cdcl(theory=bridge)
+
+        def sync_new_encodings(flushed: int) -> int:
+            """Hand new vars, atoms and clauses to the SAT core and bridge."""
+            sat.ensure_vars(cnf.n_vars)
+            for satvar, atom in cnf.atom_of_var.items():
+                bridge.register_atom(satvar, atom)
+            for clause in cnf.clauses[flushed:]:
+                sat.add_clause(clause)
+            return len(cnf.clauses)
+
+        flushed = sync_new_encodings(0)
+        splits = 0
+        while True:
+            verdict = sat.solve()
+            if verdict != SAT:
+                self.stats = dict(sat.stats, splits=splits)
+                return Result.UNSAT
+            fractional = bridge.fractional_var()
+            if fractional is None:
+                self._model = self._extract_model(cnf, bridge, sat)
+                self.stats = dict(sat.stats, splits=splits)
+                return Result.SAT
+            splits += 1
+            if splits > self._max_splits:
+                raise SolverBudgetError(
+                    f"exceeded {self._max_splits} branch-and-bound splits; "
+                    "are all integer variables bounded?"
+                )
+            var, value = fractional
+            cut = floor(value)
+            split_lits = [cnf.literal(le(var, cut)), cnf.literal(ge(var, cut + 1))]
+            flushed = sync_new_encodings(flushed)
+            sat.add_clause(split_lits)
+
+    def _extract_model(self, cnf: CnfBuilder, bridge: LiaBridge, sat: Cdcl) -> Model:
+        ints: dict[IntVar, int] = {}
+        for var in bridge.known_int_vars():
+            value = bridge.rational_value(var)
+            assert value.denominator == 1, "model extraction on fractional value"
+            ints[var] = int(value)
+        bools = {
+            name: sat.model_value(satvar)
+            for name, satvar in cnf.var_of_boolname.items()
+        }
+        return Model(ints, bools)
+
+    def model(self) -> Model:
+        """The model of the last SAT :meth:`check`."""
+        if self._model is None:
+            raise RuntimeError("model() requires a prior SAT check()")
+        return self._model

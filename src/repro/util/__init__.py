@@ -1,0 +1,5 @@
+"""Small shared helpers (timers, deterministic id counters)."""
+
+from .timing import Stopwatch
+
+__all__ = ["Stopwatch"]

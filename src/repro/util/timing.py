@@ -1,0 +1,48 @@
+"""Timing helpers used by the verification pipeline and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named phase durations.
+
+    >>> watch = Stopwatch()
+    >>> with watch.phase("colors"):
+    ...     pass
+    >>> "colors" in watch.durations
+    True
+    """
+
+    durations: dict[str, float] = field(default_factory=dict)
+
+    def phase(self, name: str) -> "_Phase":
+        return _Phase(self, name)
+
+    def total(self) -> float:
+        return sum(self.durations.values())
+
+    def report(self) -> str:
+        lines = [f"  {name:<24s} {seconds:8.3f} s" for name, seconds in self.durations.items()]
+        lines.append(f"  {'total':<24s} {self.total():8.3f} s")
+        return "\n".join(lines)
+
+
+class _Phase:
+    def __init__(self, watch: Stopwatch, name: str):
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._watch.durations[self._name] = (
+            self._watch.durations.get(self._name, 0.0) + elapsed
+        )

@@ -1,0 +1,46 @@
+"""xMAS modelling language plus the paper's xMAS automata.
+
+* :class:`Network` / :class:`NetworkBuilder` — containers and wiring.
+* :class:`Queue`, :class:`Function`, :class:`Source`, :class:`Sink`,
+  :class:`Fork`, :class:`Join`, :class:`Switch`, :class:`Merge` — the eight
+  xMAS primitives (switch/merge generalised to k ways).
+* :class:`Automaton` / :class:`Transition` — I/O state machines with an
+  xMAS channel interface (Definitions 1–2 of the paper).
+"""
+
+from .automaton import Automaton, Transition
+from .builder import NetworkBuilder
+from .channel import Channel, Direction, Port
+from .dot import to_dot
+from .network import Network
+from .primitives import (
+    Fork,
+    Function,
+    Join,
+    Merge,
+    Primitive,
+    Queue,
+    Sink,
+    Source,
+    Switch,
+)
+
+__all__ = [
+    "Network",
+    "NetworkBuilder",
+    "Channel",
+    "Port",
+    "Direction",
+    "Primitive",
+    "Queue",
+    "Function",
+    "Source",
+    "Sink",
+    "Fork",
+    "Join",
+    "Switch",
+    "Merge",
+    "Automaton",
+    "Transition",
+    "to_dot",
+]

@@ -1,0 +1,154 @@
+"""xMAS automata (Definitions 1 and 2 of the paper).
+
+An :class:`Automaton` is an I/O state machine with an xMAS channel
+interface: it reads packets from in-channels and writes packets to
+out-channels.  A :class:`Transition` fires when
+
+* the automaton is in the transition's ``origin`` state,
+* the triggering in-port offers a packet satisfying ``guard`` (the paper's
+  event ε), and
+* if the transition produces a packet (the paper's transformation φ), the
+  designated out-port is ready to accept it.
+
+This declarative shape — one in-port and optional guard/producer per
+transition — is equivalent to the paper's ε :: C_I × D → bool and
+φ :: C_I × D → (C_O × D) + ⊥ (split a multi-port event into one transition
+per port), and it is what makes the automaton *analysable*: color
+derivation and invariant generation enumerate guards over the derived color
+sets rather than inverting opaque functions.
+
+Spontaneous behaviour ("the directory may decide at any time to send an
+invalidate") is modelled the same way the paper's running example models
+request injection: a local fair :class:`~repro.xmas.primitives.Source`
+feeds a token to a dedicated in-port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from .channel import Direction, Port
+from .primitives import Primitive
+
+__all__ = ["Automaton", "Transition"]
+
+Color = Hashable
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge of an xMAS automaton.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in diagnostics and invariant output (the paper's
+        ``#req!`` / ``#ack?`` counters are per-transition).
+    origin, target:
+        State names.
+    in_port:
+        The in-port whose packet triggers the transition.
+    guard:
+        The event ε restricted to ``in_port``; ``None`` accepts every color.
+    out_port:
+        Where φ emits, or ``None`` when the transition produces nothing.
+    produce:
+        Maps the consumed packet to the emitted packet; required when
+        ``out_port`` is set.  (φ returning ⊥ is ``out_port=None``.)
+    """
+
+    name: str
+    origin: str
+    target: str
+    in_port: str
+    guard: Callable[[Color], bool] | None = None
+    out_port: str | None = None
+    produce: Callable[[Color], Color] | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if (self.out_port is None) != (self.produce is None):
+            raise ValueError(
+                f"transition {self.name}: out_port and produce must be set together"
+            )
+
+    def accepts(self, color: Color) -> bool:
+        """Does the event ε hold for ``color`` on this transition's in-port?"""
+        return self.guard is None or bool(self.guard(color))
+
+    def output(self, color: Color) -> tuple[str, Color] | None:
+        """φ(in_port, color): the (out_port, packet) emitted, if any."""
+        if self.out_port is None:
+            return None
+        assert self.produce is not None
+        return self.out_port, self.produce(color)
+
+
+class Automaton(Primitive):
+    """An xMAS automaton: (S, T, s₀, C_I, C_O) per Definition 1."""
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[str],
+        initial: str,
+        in_ports: Iterable[str],
+        out_ports: Iterable[str],
+        transitions: Iterable[Transition],
+    ):
+        super().__init__(name)
+        self.states = list(states)
+        if len(set(self.states)) != len(self.states):
+            raise ValueError(f"automaton {name}: duplicate states")
+        if initial not in self.states:
+            raise ValueError(f"automaton {name}: initial state {initial!r} unknown")
+        self.initial = initial
+        for port_name in in_ports:
+            self._add_port(port_name, Direction.IN)
+        for port_name in out_ports:
+            self._add_port(port_name, Direction.OUT)
+        self.transitions = list(transitions)
+        self._check_transitions()
+
+    def _check_transitions(self) -> None:
+        seen_names: set[str] = set()
+        for t in self.transitions:
+            if t.name in seen_names:
+                raise ValueError(f"automaton {self.name}: duplicate transition {t.name}")
+            seen_names.add(t.name)
+            if t.origin not in self.states or t.target not in self.states:
+                raise ValueError(
+                    f"automaton {self.name}: transition {t.name} uses unknown state"
+                )
+            in_port = self.ports.get(t.in_port)
+            if in_port is None or in_port.direction is not Direction.IN:
+                raise ValueError(
+                    f"automaton {self.name}: transition {t.name} triggers on "
+                    f"unknown in-port {t.in_port!r}"
+                )
+            if t.out_port is not None:
+                out_port = self.ports.get(t.out_port)
+                if out_port is None or out_port.direction is not Direction.OUT:
+                    raise ValueError(
+                        f"automaton {self.name}: transition {t.name} emits on "
+                        f"unknown out-port {t.out_port!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Queries used by the analyses
+    # ------------------------------------------------------------------
+    def transitions_from(self, state: str) -> list[Transition]:
+        return [t for t in self.transitions if t.origin == state]
+
+    def transitions_into(self, state: str) -> list[Transition]:
+        return [t for t in self.transitions if t.target == state]
+
+    def transitions_on_port(self, in_port: str) -> list[Transition]:
+        return [t for t in self.transitions if t.in_port == in_port]
+
+    def port(self, name: str) -> Port:
+        return self.ports[name]
+
+    def state_var_name(self, state: str) -> str:
+        """The canonical name of the 0/1 state variable ``A.s``."""
+        return f"{self.name}.{state}"

@@ -1,0 +1,109 @@
+"""Fluent construction of xMAS networks.
+
+Example — the paper's running example fabric (two queues between two
+automata) is assembled as::
+
+    builder = NetworkBuilder("running-example")
+    q_req = builder.queue("q0", size=2)
+    q_ack = builder.queue("q1", size=2)
+    ...
+    builder.connect(sender.port("req"), q_req.i)
+    network = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from .automaton import Automaton, Transition
+from .channel import Channel, Port
+from .network import Network
+from .primitives import (
+    Fork,
+    Function,
+    Join,
+    Merge,
+    Queue,
+    Sink,
+    Source,
+    Switch,
+)
+
+__all__ = ["NetworkBuilder"]
+
+Color = Hashable
+
+
+class NetworkBuilder:
+    """Creates primitives, registers them, and wires channels."""
+
+    def __init__(self, name: str = "network"):
+        self.network = Network(name)
+
+    # ------------------------------------------------------------------
+    # Primitive factories
+    # ------------------------------------------------------------------
+    def queue(self, name: str, size: int, rotating: bool = False) -> Queue:
+        return self.network.add(Queue(name, size, rotating=rotating))  # type: ignore[return-value]
+
+    def source(self, name: str, colors: Iterable[Color]) -> Source:
+        return self.network.add(Source(name, colors))  # type: ignore[return-value]
+
+    def sink(self, name: str, fair: bool = True) -> Sink:
+        return self.network.add(Sink(name, fair=fair))  # type: ignore[return-value]
+
+    def function(self, name: str, fn: Callable[[Color], Color]) -> Function:
+        return self.network.add(Function(name, fn))  # type: ignore[return-value]
+
+    def fork(
+        self,
+        name: str,
+        fn_a: Callable[[Color], Color] | None = None,
+        fn_b: Callable[[Color], Color] | None = None,
+    ) -> Fork:
+        return self.network.add(Fork(name, fn_a, fn_b))  # type: ignore[return-value]
+
+    def join(
+        self, name: str, combine: Callable[[Color, Color], Color] | None = None
+    ) -> Join:
+        return self.network.add(Join(name, combine))  # type: ignore[return-value]
+
+    def switch(
+        self, name: str, route: Callable[[Color], int], n_outputs: int = 2
+    ) -> Switch:
+        return self.network.add(Switch(name, route, n_outputs))  # type: ignore[return-value]
+
+    def merge(self, name: str, n_inputs: int = 2) -> Merge:
+        return self.network.add(Merge(name, n_inputs))  # type: ignore[return-value]
+
+    def automaton(
+        self,
+        name: str,
+        states: Iterable[str],
+        initial: str,
+        in_ports: Iterable[str],
+        out_ports: Iterable[str],
+        transitions: Iterable[Transition],
+    ) -> Automaton:
+        return self.network.add(  # type: ignore[return-value]
+            Automaton(name, states, initial, in_ports, out_ports, transitions)
+        )
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect(self, initiator: Port, target: Port, name: str | None = None) -> Channel:
+        return self.network.connect(initiator, target, name)
+
+    def pipeline(self, *ports: Port) -> list[Channel]:
+        """Connect ``ports`` pairwise: (p0→p1), (p2→p3), …"""
+        if len(ports) % 2:
+            raise ValueError("pipeline() needs an even number of ports")
+        return [
+            self.connect(ports[i], ports[i + 1]) for i in range(0, len(ports), 2)
+        ]
+
+    def build(self, validate: bool = True) -> Network:
+        if validate:
+            self.network.validate()
+        return self.network

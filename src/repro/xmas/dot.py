@@ -1,0 +1,51 @@
+"""Graphviz (dot) export of xMAS networks for debugging and documentation."""
+
+from __future__ import annotations
+
+from .automaton import Automaton
+from .network import Network
+from .primitives import Fork, Function, Join, Merge, Queue, Sink, Source, Switch
+
+__all__ = ["to_dot"]
+
+_SHAPES = {
+    Queue: ("box", "lightyellow"),
+    Function: ("ellipse", "white"),
+    Source: ("invtriangle", "lightgreen"),
+    Sink: ("triangle", "lightpink"),
+    Fork: ("diamond", "lightblue"),
+    Join: ("diamond", "lightcyan"),
+    Switch: ("trapezium", "lavender"),
+    Merge: ("invtrapezium", "lavender"),
+    Automaton: ("doubleoctagon", "orange"),
+}
+
+
+def _node_style(primitive: object) -> tuple[str, str]:
+    for cls, style in _SHAPES.items():
+        if isinstance(primitive, cls):
+            return style
+    return "box", "white"
+
+
+def to_dot(network: Network) -> str:
+    """Render the network structure as a Graphviz digraph source string."""
+    lines = [f'digraph "{network.name}" {{', "  rankdir=LR;"]
+    for primitive in network.primitives.values():
+        shape, fill = _node_style(primitive)
+        label = primitive.name
+        if isinstance(primitive, Queue):
+            label = f"{primitive.name}\\n[{primitive.size}]"
+        elif isinstance(primitive, Automaton):
+            label = f"{primitive.name}\\n{len(primitive.states)} states"
+        lines.append(
+            f'  "{primitive.name}" [shape={shape}, style=filled, '
+            f'fillcolor={fill}, label="{label}"];'
+        )
+    for channel in network.channels:
+        lines.append(
+            f'  "{channel.initiator.owner.name}" -> "{channel.target.owner.name}"'
+            f' [label="{channel.name}", fontsize=8];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""The eight xMAS primitives.
+
+Following Intel's xMAS language (Chatterjee, Kishinevsky, Ogras; see also
+Gotmanov et al., VMCAI'11), a communication fabric is a network of:
+
+``Queue``      finite FIFO storage;
+``Function``   stateless data transformation;
+``Source``     non-deterministic, fair packet producer;
+``Sink``       packet consumer (fair or dead);
+``Fork``       duplicates one input to two outputs (synchronous);
+``Join``       combines two inputs into one output (synchronous);
+``Switch``     routes by a data predicate — generalised here to k outputs;
+``Merge``      fair arbiter — generalised here to k inputs.
+
+The k-way generalisation of switch/merge is behaviour-preserving (a k-way
+switch is a cascade of binary switches, and likewise for merges) and keeps
+mesh routers readable; primitive counts reported by benchmarks say which
+convention they use.
+
+Primitives are *structural* objects: ports plus parameters.  Their block /
+idle / flow equations are produced by :mod:`repro.core`, their executable
+behaviour by :mod:`repro.mc`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from .channel import Direction, Port
+
+__all__ = [
+    "Primitive",
+    "Queue",
+    "Function",
+    "Source",
+    "Sink",
+    "Fork",
+    "Join",
+    "Switch",
+    "Merge",
+]
+
+Color = Hashable
+
+
+class Primitive:
+    """Base class: a named component with declared ports."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ports: dict[str, Port] = {}
+
+    def _add_port(self, name: str, direction: Direction) -> Port:
+        port = Port(self, name, direction)
+        self.ports[name] = port
+        return port
+
+    def in_ports(self) -> list[Port]:
+        return [p for p in self.ports.values() if p.direction is Direction.IN]
+
+    def out_ports(self) -> list[Port]:
+        return [p for p in self.ports.values() if p.direction is Direction.OUT]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class Queue(Primitive):
+    """A FIFO buffer for ``size`` complete packets (store-and-forward).
+
+    ``rotating=True`` marks a queue whose head may be moved back to the tail
+    atomically when the consumer cannot currently accept it — the paper's
+    "stalled and moved to the end of the queue" behaviour for queues feeding
+    protocol automata.  The flag only affects the executable semantics
+    (:mod:`repro.mc`) and, optionally, the precision of the block equation.
+    """
+
+    def __init__(self, name: str, size: int, rotating: bool = False):
+        if size < 1:
+            raise ValueError(f"queue {name}: size must be >= 1, got {size}")
+        super().__init__(name)
+        self.size = size
+        self.rotating = rotating
+        self.i = self._add_port("i", Direction.IN)
+        self.o = self._add_port("o", Direction.OUT)
+
+
+class Function(Primitive):
+    """Applies ``fn`` to every passing packet."""
+
+    def __init__(self, name: str, fn: Callable[[Color], Color]):
+        super().__init__(name)
+        self.fn = fn
+        self.i = self._add_port("i", Direction.IN)
+        self.o = self._add_port("o", Direction.OUT)
+
+
+class Source(Primitive):
+    """Non-deterministically and fairly emits packets drawn from ``colors``."""
+
+    def __init__(self, name: str, colors: Iterable[Color]):
+        super().__init__(name)
+        self.colors = frozenset(colors)
+        if not self.colors:
+            raise ValueError(f"source {name}: needs at least one color")
+        self.o = self._add_port("o", Direction.OUT)
+
+
+class Sink(Primitive):
+    """Consumes packets; ``fair=True`` means it always eventually accepts."""
+
+    def __init__(self, name: str, fair: bool = True):
+        super().__init__(name)
+        self.fair = fair
+        self.i = self._add_port("i", Direction.IN)
+
+
+class Fork(Primitive):
+    """Copies an input packet to both outputs in one synchronous transfer.
+
+    Optional ``fn_a`` / ``fn_b`` transform the copies independently.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn_a: Callable[[Color], Color] | None = None,
+        fn_b: Callable[[Color], Color] | None = None,
+    ):
+        super().__init__(name)
+        self.fn_a = fn_a or (lambda d: d)
+        self.fn_b = fn_b or (lambda d: d)
+        self.i = self._add_port("i", Direction.IN)
+        self.a = self._add_port("a", Direction.OUT)
+        self.b = self._add_port("b", Direction.OUT)
+
+
+class Join(Primitive):
+    """Synchronises two inputs into one output packet.
+
+    ``combine(da, db)`` produces the output packet; the default keeps the
+    first input's data (the common xMAS idiom where input ``b`` is a token).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        combine: Callable[[Color, Color], Color] | None = None,
+    ):
+        super().__init__(name)
+        self.combine = combine or (lambda da, db: da)
+        self.a = self._add_port("a", Direction.IN)
+        self.b = self._add_port("b", Direction.IN)
+        self.o = self._add_port("o", Direction.OUT)
+
+
+class Switch(Primitive):
+    """Routes each packet to the output chosen by ``route(packet)``.
+
+    ``route`` returns an output index in ``range(n_outputs)``; output ports
+    are named ``o0``, ``o1``, …  Totality of ``route`` over the colors that
+    can actually reach the switch is checked during color derivation.
+    """
+
+    def __init__(self, name: str, route: Callable[[Color], int], n_outputs: int = 2):
+        if n_outputs < 2:
+            raise ValueError(f"switch {name}: needs >= 2 outputs, got {n_outputs}")
+        super().__init__(name)
+        self.route = route
+        self.n_outputs = n_outputs
+        self.i = self._add_port("i", Direction.IN)
+        self.outs = [self._add_port(f"o{k}", Direction.OUT) for k in range(n_outputs)]
+
+
+class Merge(Primitive):
+    """A fair k-way arbiter; input ports are named ``i0``, ``i1``, …"""
+
+    def __init__(self, name: str, n_inputs: int = 2):
+        if n_inputs < 2:
+            raise ValueError(f"merge {name}: needs >= 2 inputs, got {n_inputs}")
+        super().__init__(name)
+        self.n_inputs = n_inputs
+        self.ins = [self._add_port(f"i{k}", Direction.IN) for k in range(n_inputs)]
+        self.o = self._add_port("o", Direction.OUT)

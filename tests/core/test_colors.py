@@ -1,0 +1,138 @@
+"""Tests for color derivation (T-derivation)."""
+
+import pytest
+
+from repro.core import ColorDerivationError, derive_colors
+from repro.netlib import producer_consumer, running_example
+from repro.xmas import NetworkBuilder
+
+
+def test_producer_consumer_colors():
+    net = producer_consumer()
+    colors = derive_colors(net)
+    q = net["q"]
+    assert colors.of(net.channel_of(q.i)) == frozenset({"pkt"})
+    assert colors.of(net.channel_of(q.o)) == frozenset({"pkt"})
+    # Two channels (src→q, q→snk), one color each.
+    assert colors.total_pairs() == 2
+
+
+def test_running_example_colors():
+    example = running_example()
+    net = example.network
+    colors = derive_colors(net)
+    assert colors.of(net.channel_of(example.q_req.i)) == frozenset({"req"})
+    assert colors.of(net.channel_of(example.q_ack.i)) == frozenset({"ack"})
+    token_channel = net.channel_of(example.sender.port("token"))
+    assert colors.of(token_channel) == frozenset({"token"})
+
+
+def test_function_transforms_colors():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={1, 2})
+    double = builder.function("f", fn=lambda d: d * 10)
+    snk = builder.sink("snk")
+    builder.pipeline(src.o, double.i, double.o, snk.i)
+    net = builder.build()
+    colors = derive_colors(net)
+    assert colors.of(net.channel_of(double.o)) == frozenset({10, 20})
+
+
+def test_switch_partitions_colors():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={0, 1, 2, 3})
+    sw = builder.switch("sw", route=lambda d: d % 2, n_outputs=2)
+    a, b = builder.sink("a"), builder.sink("b")
+    builder.connect(src.o, sw.i)
+    builder.connect(sw.outs[0], a.i)
+    builder.connect(sw.outs[1], b.i)
+    net = builder.build()
+    colors = derive_colors(net)
+    assert colors.of(net.channel_of(sw.outs[0])) == frozenset({0, 2})
+    assert colors.of(net.channel_of(sw.outs[1])) == frozenset({1, 3})
+
+
+def test_merge_unions_colors():
+    builder = NetworkBuilder()
+    left = builder.source("left", colors={"a"})
+    right = builder.source("right", colors={"b"})
+    m = builder.merge("m", n_inputs=2)
+    snk = builder.sink("snk")
+    builder.connect(left.o, m.ins[0])
+    builder.connect(right.o, m.ins[1])
+    builder.connect(m.o, snk.i)
+    net = builder.build()
+    colors = derive_colors(net)
+    assert colors.of(net.channel_of(m.o)) == frozenset({"a", "b"})
+
+
+def test_fork_duplicates_with_transforms():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={"x"})
+    f = builder.fork("f", fn_a=lambda d: (d, "left"), fn_b=lambda d: (d, "right"))
+    a, b = builder.sink("a"), builder.sink("b")
+    builder.connect(src.o, f.i)
+    builder.connect(f.a, a.i)
+    builder.connect(f.b, b.i)
+    net = builder.build()
+    colors = derive_colors(net)
+    assert colors.of(net.channel_of(f.a)) == frozenset({("x", "left")})
+    assert colors.of(net.channel_of(f.b)) == frozenset({("x", "right")})
+
+
+def test_join_combines_colors():
+    builder = NetworkBuilder()
+    data = builder.source("data", colors={"d1", "d2"})
+    token = builder.source("token", colors={"t"})
+    j = builder.join("j", combine=lambda da, db: (da, db))
+    snk = builder.sink("snk")
+    builder.connect(data.o, j.a)
+    builder.connect(token.o, j.b)
+    builder.connect(j.o, snk.i)
+    net = builder.build()
+    colors = derive_colors(net)
+    assert colors.of(net.channel_of(j.o)) == frozenset({("d1", "t"), ("d2", "t")})
+
+
+def test_cyclic_network_reaches_fixpoint():
+    from repro.netlib import token_ring
+
+    net = token_ring(3)
+    colors = derive_colors(net)
+    for queue in net.queues():
+        assert colors.of(net.channel_of(queue.i)) == frozenset({"tok"})
+
+
+def test_switch_route_failure_reported():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={"boom"})
+    sw = builder.switch("sw", route=lambda d: d.index("x"), n_outputs=2)
+    a, b = builder.sink("a"), builder.sink("b")
+    builder.connect(src.o, sw.i)
+    builder.connect(sw.outs[0], a.i)
+    builder.connect(sw.outs[1], b.i)
+    net = builder.build()
+    with pytest.raises(ColorDerivationError, match="switch sw"):
+        derive_colors(net)
+
+
+def test_switch_route_out_of_range_reported():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={"p"})
+    sw = builder.switch("sw", route=lambda d: 7, n_outputs=2)
+    a, b = builder.sink("a"), builder.sink("b")
+    builder.connect(src.o, sw.i)
+    builder.connect(sw.outs[0], a.i)
+    builder.connect(sw.outs[1], b.i)
+    net = builder.build()
+    with pytest.raises(ColorDerivationError, match="range"):
+        derive_colors(net)
+
+
+def test_automaton_guard_filters_colors():
+    example = running_example()
+    net = example.network
+    colors = derive_colors(net)
+    # The receiver only ever emits acks, never reqs.
+    ack_channel = net.channel_of(example.receiver.port("ack_out"))
+    assert colors.of(ack_channel) == frozenset({"ack"})

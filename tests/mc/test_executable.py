@@ -1,0 +1,204 @@
+"""Tests for the executable xMAS semantics."""
+
+import pytest
+
+from repro.mc import Executable, Explorer
+from repro.netlib import producer_consumer, running_example, token_ring
+from repro.protocols import Message
+from repro.xmas import NetworkBuilder
+
+
+def test_producer_consumer_inject_and_drain():
+    net = producer_consumer(queue_size=1)
+    executable = Executable(net)
+    initial = executable.space.initial_state()
+    steps = list(executable.successors(initial))
+    assert len(steps) == 1  # inject into the empty queue
+    (step, after), = steps
+    assert step[0] == "inject"
+    assert after.queue_contents[0] == ("pkt",)
+    # head advance into the sink empties the queue again
+    follow = list(executable.successors(after))
+    kinds = {s[0] for s, _ in follow}
+    assert "advance" in kinds
+
+
+def test_full_queue_blocks_injection():
+    net = producer_consumer(queue_size=1)
+    executable = Executable(net)
+    state = executable.space.initial_state()
+    state = executable.space.with_queue(state, 0, ("pkt",))
+    injects = [
+        s for s, _ in executable.successors(state) if s[0] == "inject"
+    ]
+    assert not injects
+
+
+def test_dead_sink_blocks_forever():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={"x"})
+    q = builder.queue("q", 1)
+    snk = builder.sink("snk", fair=False)
+    builder.pipeline(src.o, q.i, q.o, snk.i)
+    net = builder.build()
+    explorer = Explorer(net)
+    result = explorer.find_deadlock()
+    assert result.found_deadlock
+    assert result.deadlock.queue_contents[0] == ("x",)
+
+
+def test_running_example_statespace_exact():
+    example = running_example()
+    explorer = Explorer(example.network)
+    result = explorer.find_deadlock()
+    assert result.exhausted
+    assert not result.found_deadlock
+    # States: (s0,t0,empty), (s1,t0,req), (s1,t1,empty), (s1,t0,ack->s0...)
+    assert result.states_explored == 4
+
+
+def test_token_ring_keeps_token_count():
+    net = token_ring(3, queue_size=1)
+    executable = Executable(net)
+    seen_counts = set()
+    state = executable.space.initial_state()
+    frontier = [state]
+    visited = {state}
+    while frontier:
+        current = frontier.pop()
+        seen_counts.add(sum(len(c) for c in current.queue_contents))
+        for _, successor in executable.successors(current):
+            if successor not in visited and len(visited) < 200:
+                visited.add(successor)
+                frontier.append(successor)
+    # the merge admits at most the injected tokens; counts stay small and
+    # never negative
+    assert min(seen_counts) == 0
+    assert max(seen_counts) <= 3
+
+
+def test_switch_routes_in_execution():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={0, 1})
+    sw = builder.switch("sw", route=lambda d: d, n_outputs=2)
+    q0 = builder.queue("q0", 1)
+    q1 = builder.queue("q1", 1)
+    s0, s1 = builder.sink("s0"), builder.sink("s1")
+    builder.connect(src.o, sw.i)
+    builder.connect(sw.outs[0], q0.i)
+    builder.connect(sw.outs[1], q1.i)
+    builder.connect(q0.o, s0.i)
+    builder.connect(q1.o, s1.i)
+    net = builder.build()
+    executable = Executable(net)
+    state = executable.space.initial_state()
+    results = {}
+    for step, successor in executable.successors(state):
+        results[step[2]] = successor
+    zero_state = results["0"]
+    q0_index = executable.space.queue_index["q0"]
+    assert zero_state.queue_contents[q0_index] == (0,)
+
+
+def test_fork_requires_both_branches():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={"x"})
+    fork = builder.fork("f")
+    qa = builder.queue("qa", 1)
+    qb = builder.queue("qb", 1)
+    sa, sb = builder.sink("sa"), builder.sink("sb")
+    builder.connect(src.o, fork.i)
+    builder.connect(fork.a, qa.i)
+    builder.connect(fork.b, qb.i)
+    builder.connect(qa.o, sa.i)
+    builder.connect(qb.o, sb.i)
+    net = builder.build()
+    executable = Executable(net)
+    state = executable.space.initial_state()
+    qb_index = executable.space.queue_index["qb"]
+    full_b = executable.space.with_queue(state, qb_index, ("x",))
+    injects = [s for s, _ in executable.successors(full_b) if s[0] == "inject"]
+    assert not injects  # fork blocked because branch b is full
+    both = list(executable.successors(state))
+    inject_results = [ns for s, ns in both if s[0] == "inject"]
+    assert inject_results
+    assert inject_results[0].queue_contents[qb_index] == ("x",)
+
+
+def test_join_synchronises_with_queue_partner():
+    builder = NetworkBuilder()
+    data_src = builder.source("data", colors={"d"})
+    token_q = builder.queue("tq", 1)
+    token_src = builder.source("tok", colors={"t"})
+    join = builder.join("j", combine=lambda da, db: (da, db))
+    out_q = builder.queue("oq", 1)
+    snk = builder.sink("snk")
+    builder.connect(data_src.o, join.a)
+    builder.connect(token_src.o, token_q.i)
+    builder.connect(token_q.o, join.b)
+    builder.connect(join.o, out_q.i)
+    builder.connect(out_q.o, snk.i)
+    net = builder.build()
+    executable = Executable(net)
+    state = executable.space.initial_state()
+    # without a token in tq, the data source cannot fire through the join
+    data_injects = [
+        s for s, _ in executable.successors(state)
+        if s[0] == "inject" and s[1] == "data"
+    ]
+    assert not data_injects
+    tq = executable.space.queue_index["tq"]
+    oq = executable.space.queue_index["oq"]
+    with_token = executable.space.with_queue(state, tq, ("t",))
+    fired = [
+        ns for s, ns in executable.successors(with_token)
+        if s[0] == "inject" and s[1] == "data"
+    ]
+    assert fired
+    assert fired[0].queue_contents[oq] == (("d", "t"),)
+    assert fired[0].queue_contents[tq] == ()
+
+
+def test_rotation_only_when_stuck():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={Message("a", (0, 0), (0, 0)),
+                                        Message("b", (0, 0), (0, 0))})
+    q = builder.queue("q", 2, rotating=True)
+    snk = builder.sink("snk", fair=False)  # dead sink: heads always stuck
+    builder.pipeline(src.o, q.i, q.o, snk.i)
+    net = builder.build()
+    executable = Executable(net)
+    state = executable.space.initial_state()
+    a = Message("a", (0, 0), (0, 0))
+    b = Message("b", (0, 0), (0, 0))
+    two = executable.space.with_queue(state, 0, (a, b))
+    rotations = [
+        (s, ns) for s, ns in executable.successors(two) if s[0] == "rotate"
+    ]
+    assert len(rotations) == 1
+    _, rotated = rotations[0]
+    assert rotated.queue_contents[0] == (b, a)
+
+
+def test_no_rotation_for_nonrotating_queue():
+    net = producer_consumer(queue_size=2)
+    executable = Executable(net)
+    state = executable.space.with_queue(
+        executable.space.initial_state(), 0, ("pkt", "pkt")
+    )
+    assert not list(executable.rotation_successors(state))
+
+
+def test_is_dead_simple():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={"x"})
+    q = builder.queue("q", 1)
+    snk = builder.sink("snk", fair=False)
+    builder.pipeline(src.o, q.i, q.o, snk.i)
+    net = builder.build()
+    executable = Executable(net)
+    stuck = executable.space.with_queue(
+        executable.space.initial_state(), 0, ("x",)
+    )
+    assert executable.is_dead(stuck)
+    assert not executable.is_dead(executable.space.initial_state())

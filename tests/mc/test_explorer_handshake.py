@@ -1,0 +1,129 @@
+"""Tests for the explorer and the handshake baseline (E9)."""
+
+import pytest
+
+from repro.mc import Explorer, check_handshake_composition
+from repro.netlib import producer_consumer, running_example
+from repro.protocols import abstract_mi_mesh, mi_mesh
+from repro.protocols.abstract_mi import abstract_mi_ether
+from repro.protocols.mi_gem5 import mi_ether
+from repro.xmas import NetworkBuilder
+
+
+def test_explorer_exhausts_small_space():
+    result = Explorer(producer_consumer(queue_size=2)).find_deadlock()
+    assert result.exhausted
+    assert not result.found_deadlock
+
+
+def test_explorer_trace_replays_to_deadlock():
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={"x"})
+    q = builder.queue("q", 2)
+    snk = builder.sink("snk", fair=False)
+    builder.pipeline(src.o, q.i, q.o, snk.i)
+    explorer = Explorer(builder.build())
+    result = explorer.find_deadlock()
+    assert result.found_deadlock
+    # replay the trace step by step
+    state = explorer.space.initial_state()
+    for step in result.trace:
+        matches = [
+            ns for s, ns in explorer.executable.successors(state) if s == step
+        ]
+        assert matches, f"trace step {step} not enabled"
+        state = matches[0]
+    assert state == result.deadlock
+    assert explorer.executable.is_dead(state)
+
+
+def test_confirm_witness_matches_shape():
+    from repro.core import enumerate_witnesses
+
+    inst = abstract_mi_mesh(2, 2, queue_size=2)
+    explorer = Explorer(inst.network)
+    confirmed = False
+    for witness in enumerate_witnesses(inst.network, limit=12):
+        confirmation = explorer.confirm_witness(
+            witness.automaton_states,
+            witness.queue_contents,
+            max_states=400_000,
+        )
+        if confirmation.found_deadlock:
+            confirmed = True
+            break
+    assert confirmed, (
+        "at least one SMT witness at queue size 2 must be reachable"
+    )
+
+
+def test_abstract_mi_q3_exhaustively_free():
+    inst = abstract_mi_mesh(2, 2, queue_size=3)
+    result = Explorer(inst.network).find_deadlock(max_states=500_000)
+    assert result.exhausted
+    assert not result.found_deadlock
+
+
+def test_mi_q2_deadlocks_and_q3_free():
+    deadlocked = Explorer(mi_mesh(2, 2, queue_size=2).network).find_deadlock(
+        max_states=500_000
+    )
+    assert deadlocked.found_deadlock
+    free = Explorer(mi_mesh(2, 2, queue_size=3).network).find_deadlock(
+        max_states=2_000_000
+    )
+    assert free.exhausted and not free.found_deadlock
+
+
+def test_handshake_running_example():
+    # the Figure-1 protocol under rendezvous is deadlock-free (Section 1)
+    network = running_example().network
+    # build the queue-free equivalent: S and T exchanging directly
+    from repro.xmas import Transition
+
+    builder = NetworkBuilder("rendezvous")
+    src_s = builder.source("srcS", colors={"token"})
+    src_t = builder.source("srcT", colors={"token"})
+    sender = builder.automaton(
+        "S", states=["s0", "s1"], initial="s0",
+        in_ports=["token", "ack_in"], out_ports=["req_out"],
+        transitions=[
+            Transition("req!", "s0", "s1", "token", out_port="req_out",
+                       produce=lambda _d: "req"),
+            Transition("ack?", "s1", "s0", "ack_in",
+                       guard=lambda d: d == "ack"),
+        ],
+    )
+    receiver = builder.automaton(
+        "T", states=["t0", "t1"], initial="t0",
+        in_ports=["req_in", "token"], out_ports=["ack_out"],
+        transitions=[
+            Transition("req?", "t0", "t1", "req_in",
+                       guard=lambda d: d == "req"),
+            Transition("ack!", "t1", "t0", "token", out_port="ack_out",
+                       produce=lambda _d: "ack"),
+        ],
+    )
+    builder.connect(src_s.o, sender.port("token"))
+    builder.connect(src_t.o, receiver.port("token"))
+    builder.connect(sender.port("req_out"), receiver.port("req_in"))
+    builder.connect(receiver.port("ack_out"), sender.port("ack_in"))
+    result = check_handshake_composition(builder.build())
+    assert result.deadlock_free
+    assert result.states_explored == 2  # (s0,t0) and (s1,t1)
+    del network
+
+
+def test_handshake_abstract_mi_free():
+    result = check_handshake_composition(abstract_mi_ether(2, 2))
+    assert result.deadlock_free
+
+
+def test_handshake_full_mi_free():
+    result = check_handshake_composition(mi_ether(2, 2))
+    assert result.deadlock_free
+
+
+def test_handshake_rejects_networks_with_queues():
+    with pytest.raises(ValueError):
+        check_handshake_composition(producer_consumer())

@@ -1,0 +1,125 @@
+"""Unit tests for the CDCL SAT core (no theory attached)."""
+
+import pytest
+
+from repro.smt.sat import SAT, UNSAT, BudgetExceeded, Cdcl, _luby
+
+
+def solve_clauses(n_vars, clauses):
+    solver = Cdcl()
+    solver.ensure_vars(n_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver
+
+
+def test_luby_prefix():
+    assert [_luby(i) for i in range(1, 16)] == [
+        1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+    ]
+
+
+def test_empty_problem_is_sat():
+    solver = solve_clauses(0, [])
+    assert solver.solve() == SAT
+
+
+def test_single_unit():
+    solver = solve_clauses(1, [[1]])
+    assert solver.solve() == SAT
+    assert solver.model_value(1) is True
+
+
+def test_contradicting_units():
+    solver = solve_clauses(1, [[1], [-1]])
+    assert solver.solve() == UNSAT
+
+
+def test_simple_implication_chain():
+    # 1 -> 2 -> 3, with 1 forced.
+    solver = solve_clauses(3, [[1], [-1, 2], [-2, 3]])
+    assert solver.solve() == SAT
+    assert solver.model_value(3) is True
+
+
+def test_unsat_triangle():
+    clauses = [[1, 2], [-1, 2], [1, -2], [-1, -2]]
+    solver = solve_clauses(2, clauses)
+    assert solver.solve() == UNSAT
+
+
+def test_tautological_clause_ignored():
+    solver = solve_clauses(2, [[1, -1], [2]])
+    assert solver.solve() == SAT
+    assert solver.model_value(2) is True
+
+
+def test_duplicate_literals_deduped():
+    solver = solve_clauses(1, [[1, 1, 1]])
+    assert solver.solve() == SAT
+    assert solver.model_value(1) is True
+
+
+def test_pigeonhole_2_into_1_unsat():
+    # Two pigeons, one hole: p1h1, p2h1, not both.
+    clauses = [[1], [2], [-1, -2]]
+    solver = solve_clauses(2, clauses)
+    assert solver.solve() == UNSAT
+
+
+def test_pigeonhole_3_into_2_unsat():
+    # var(p,h) = 2*(p-1)+h for p in 1..3, h in 1..2
+    def var(p, h):
+        return 2 * (p - 1) + h
+
+    clauses = []
+    for p in range(1, 4):
+        clauses.append([var(p, 1), var(p, 2)])
+    for h in (1, 2):
+        for p1 in range(1, 4):
+            for p2 in range(p1 + 1, 4):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    solver = solve_clauses(6, clauses)
+    assert solver.solve() == UNSAT
+
+
+def test_model_satisfies_all_clauses():
+    clauses = [[1, 2, 3], [-1, -2], [-2, -3], [-1, -3], [2, 3]]
+    solver = solve_clauses(3, clauses)
+    assert solver.solve() == SAT
+    model = {v: solver.model_value(v) for v in (1, 2, 3)}
+    for clause in clauses:
+        assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+def test_incremental_clause_addition():
+    solver = solve_clauses(2, [[1, 2]])
+    assert solver.solve() == SAT
+    solver.add_clause([-1])
+    assert solver.solve() == SAT
+    assert solver.model_value(2) is True
+    solver.add_clause([-2])
+    assert solver.solve() == UNSAT
+
+
+def test_budget_exceeded():
+    # A hard-ish random-like instance would take >0 conflicts; force budget 0.
+    def var(p, h):
+        return 3 * (p - 1) + h
+
+    clauses = []
+    for p in range(1, 5):
+        clauses.append([var(p, 1), var(p, 2), var(p, 3)])
+    for h in (1, 2, 3):
+        for p1 in range(1, 5):
+            for p2 in range(p1 + 1, 5):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    solver = solve_clauses(12, clauses)
+    with pytest.raises(BudgetExceeded):
+        solver.solve(max_conflicts=1)
+
+
+def test_stats_populated():
+    solver = solve_clauses(2, [[1, 2], [-1, 2], [1, -2], [-1, -2]])
+    solver.solve()
+    assert solver.stats["conflicts"] >= 1

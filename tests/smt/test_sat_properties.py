@@ -1,0 +1,60 @@
+"""Differential testing of the CDCL core against brute-force enumeration."""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.sat import SAT, UNSAT, Cdcl
+
+N_VARS = 5
+
+literals = st.integers(min_value=1, max_value=N_VARS).flatmap(
+    lambda v: st.sampled_from([v, -v])
+)
+clauses_strategy = st.lists(
+    st.lists(literals, min_size=1, max_size=4), min_size=0, max_size=12
+)
+
+
+def brute_force_sat(clauses):
+    for bits in product([False, True], repeat=N_VARS):
+        assignment = {v: bits[v - 1] for v in range(1, N_VARS + 1)}
+        if all(any(assignment[abs(l)] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+@given(clauses_strategy)
+@settings(max_examples=300, deadline=None)
+def test_cdcl_matches_truth_table(clauses):
+    solver = Cdcl()
+    solver.ensure_vars(N_VARS)
+    for clause in clauses:
+        solver.add_clause(clause)
+    verdict = solver.solve()
+    expected = brute_force_sat(clauses)
+    assert verdict == (SAT if expected else UNSAT)
+    if verdict == SAT:
+        model = {v: solver.model_value(v) for v in range(1, N_VARS + 1)}
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+@given(clauses_strategy, clauses_strategy)
+@settings(max_examples=100, deadline=None)
+def test_incremental_matches_monolithic(first, second):
+    incremental = Cdcl()
+    incremental.ensure_vars(N_VARS)
+    for clause in first:
+        incremental.add_clause(clause)
+    incremental.solve()
+    for clause in second:
+        incremental.add_clause(clause)
+    verdict = incremental.solve()
+
+    monolithic = Cdcl()
+    monolithic.ensure_vars(N_VARS)
+    for clause in first + second:
+        monolithic.add_clause(clause)
+    assert verdict == monolithic.solve()

@@ -1,0 +1,150 @@
+"""Unit tests for the exact incremental simplex."""
+
+from fractions import Fraction
+
+from repro.smt.simplex import Simplex
+
+
+def test_plain_bounds_no_rows():
+    simplex = Simplex()
+    x = simplex.new_var()
+    assert simplex.assert_lower(x, Fraction(2), reason=1) is None
+    assert simplex.assert_upper(x, Fraction(5), reason=2) is None
+    assert simplex.check() is None
+    assert Fraction(2) <= simplex.value(x) <= Fraction(5)
+
+
+def test_immediate_bound_conflict():
+    simplex = Simplex()
+    x = simplex.new_var()
+    assert simplex.assert_lower(x, Fraction(3), reason=1) is None
+    conflict = simplex.assert_upper(x, Fraction(2), reason=2)
+    assert conflict is not None
+    assert set(conflict) == {1, 2}
+
+
+def test_row_feasibility():
+    simplex = Simplex()
+    x = simplex.new_var()
+    y = simplex.new_var()
+    s = simplex.define({x: Fraction(1), y: Fraction(1)})  # s = x + y
+    assert simplex.assert_lower(x, Fraction(1), reason=1) is None
+    assert simplex.assert_lower(y, Fraction(1), reason=2) is None
+    assert simplex.assert_upper(s, Fraction(3), reason=3) is None
+    assert simplex.check() is None
+    assert simplex.value(x) + simplex.value(y) == simplex.value(s)
+    assert simplex.value(s) <= 3
+
+
+def test_row_conflict_explanation():
+    simplex = Simplex()
+    x = simplex.new_var()
+    y = simplex.new_var()
+    s = simplex.define({x: Fraction(1), y: Fraction(1)})
+    assert simplex.assert_lower(x, Fraction(2), reason=10) is None
+    assert simplex.assert_lower(y, Fraction(2), reason=11) is None
+    conflict = simplex.assert_upper(s, Fraction(3), reason=12) or simplex.check()
+    assert conflict is not None
+    assert set(conflict) == {10, 11, 12}
+
+
+def test_conflict_via_two_rows():
+    simplex = Simplex()
+    x = simplex.new_var()
+    y = simplex.new_var()
+    diff = simplex.define({x: Fraction(1), y: Fraction(-1)})  # x - y
+    total = simplex.define({x: Fraction(1), y: Fraction(1)})  # x + y
+    assert simplex.assert_lower(diff, Fraction(2), reason=1) is None
+    assert simplex.assert_upper(total, Fraction(1), reason=2) is None
+    assert simplex.assert_lower(y, Fraction(0), reason=3) is None
+    conflict = simplex.check()
+    assert conflict is not None
+    assert 3 in conflict or 2 in conflict
+
+
+def test_undo_restores_bounds():
+    simplex = Simplex()
+    x = simplex.new_var()
+    mark = simplex.undo_length()
+    assert simplex.assert_upper(x, Fraction(1), reason=1) is None
+    assert simplex.bounds(x)[1] == 1
+    simplex.undo_to(mark)
+    assert simplex.bounds(x) == (None, None)
+
+
+def test_undo_then_reassert_after_conflict():
+    simplex = Simplex()
+    x = simplex.new_var()
+    y = simplex.new_var()
+    s = simplex.define({x: Fraction(1), y: Fraction(1)})
+    assert simplex.assert_lower(x, Fraction(2), reason=1) is None
+    mark = simplex.undo_length()
+    assert simplex.assert_lower(y, Fraction(2), reason=2) is None
+    conflict = simplex.assert_upper(s, Fraction(3), reason=3) or simplex.check()
+    assert conflict is not None
+    simplex.undo_to(mark)
+    # With y's bound retracted, s <= 3 is consistent again.
+    assert simplex.assert_upper(s, Fraction(3), reason=4) is None
+    assert simplex.check() is None
+    assert simplex.value(s) <= 3
+    assert simplex.value(x) >= 2
+
+
+def test_define_substitutes_basic_vars():
+    simplex = Simplex()
+    x = simplex.new_var()
+    y = simplex.new_var()
+    s = simplex.define({x: Fraction(1), y: Fraction(1)})
+    t = simplex.define({s: Fraction(2), x: Fraction(1)})  # t = 2s + x = 3x + 2y
+    assert simplex.assert_lower(x, Fraction(1), reason=1) is None
+    assert simplex.assert_lower(y, Fraction(1), reason=2) is None
+    assert simplex.check() is None
+    assert simplex.value(t) == 3 * simplex.value(x) + 2 * simplex.value(y)
+
+
+def test_equalities_via_double_bounds():
+    simplex = Simplex()
+    x = simplex.new_var()
+    y = simplex.new_var()
+    s = simplex.define({x: Fraction(1), y: Fraction(1)})
+    for var, value, base in ((x, 2, 10), (s, 7, 20)):
+        assert simplex.assert_lower(var, Fraction(value), reason=base) is None
+        assert simplex.assert_upper(var, Fraction(value), reason=base + 1) is None
+    assert simplex.check() is None
+    assert simplex.value(y) == 5
+
+
+def test_fractional_solution_values():
+    simplex = Simplex()
+    x = simplex.new_var()
+    s = simplex.define({x: Fraction(2)})
+    assert simplex.assert_lower(s, Fraction(1), reason=1) is None
+    assert simplex.assert_upper(s, Fraction(1), reason=2) is None
+    assert simplex.check() is None
+    assert simplex.value(x) == Fraction(1, 2)
+
+
+def test_full_check_rescans_everything():
+    simplex = Simplex()
+    x = simplex.new_var()
+    y = simplex.new_var()
+    simplex.define({x: Fraction(1), y: Fraction(1)})
+    assert simplex.check(full=True) is None
+
+
+def test_many_pivots_terminate():
+    # A chain of rows forcing repeated pivoting (Bland's rule must terminate).
+    simplex = Simplex()
+    xs = [simplex.new_var() for _ in range(6)]
+    sums = [
+        simplex.define({xs[i]: Fraction(1), xs[i + 1]: Fraction(1)})
+        for i in range(5)
+    ]
+    for i, s in enumerate(sums):
+        assert simplex.assert_lower(s, Fraction(1), reason=100 + i) is None
+    for i, x in enumerate(xs):
+        assert simplex.assert_upper(x, Fraction(1), reason=200 + i) is None
+        assert simplex.assert_lower(x, Fraction(0), reason=300 + i) is None
+    assert simplex.check() is None
+    for i, s in enumerate(sums):
+        assert simplex.value(s) >= 1

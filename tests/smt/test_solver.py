@@ -1,0 +1,207 @@
+"""End-to-end tests of the SMT solver facade."""
+
+import pytest
+
+from repro.smt import (
+    FALSE,
+    TRUE,
+    Result,
+    Solver,
+    SolverBudgetError,
+    boolvar,
+    conj,
+    disj,
+    eq,
+    exactly_one,
+    ge,
+    iff,
+    implies,
+    intvar,
+    le,
+    lt,
+    ne,
+    neg,
+)
+
+
+def check(*terms):
+    solver = Solver()
+    for term in terms:
+        solver.add(term)
+    return solver.check(), solver
+
+
+def test_trivially_true():
+    result, _ = check(TRUE)
+    assert result == Result.SAT
+
+
+def test_trivially_false():
+    result, _ = check(FALSE)
+    assert result == Result.UNSAT
+
+
+def test_pure_boolean_sat():
+    x, y = boolvar("px"), boolvar("py")
+    result, solver = check(disj(x, y), neg(x))
+    assert result == Result.SAT
+    assert solver.model()[y] is True
+    assert solver.model()[x] is False
+
+
+def test_pure_boolean_unsat():
+    x = boolvar("qx")
+    result, _ = check(x, neg(x))
+    assert result == Result.UNSAT
+
+
+def test_iff_chain():
+    a, b, c = (boolvar(f"r{i}") for i in "abc")
+    result, solver = check(iff(a, b), iff(b, c), a)
+    assert result == Result.SAT
+    assert solver.model()[c] is True
+
+
+def test_simple_integer_bounds():
+    x = intvar("x")
+    result, solver = check(ge(x, 2), le(x, 2))
+    assert result == Result.SAT
+    assert solver.model()[x] == 2
+
+
+def test_integer_bounds_unsat():
+    x = intvar("x")
+    result, _ = check(ge(x, 3), le(x, 2))
+    assert result == Result.UNSAT
+
+
+def test_sum_constraint():
+    x, y = intvar("x"), intvar("y")
+    result, solver = check(
+        ge(x, 0), ge(y, 0), le(x, 10), le(y, 10), eq(x + y, 7), ge(x - y, 3)
+    )
+    assert result == Result.SAT
+    model = solver.model()
+    assert model[x] + model[y] == 7
+    assert model[x] - model[y] >= 3
+
+
+def test_integrality_forces_unsat():
+    # 2x = 3 has a rational solution but no integer one.
+    x = intvar("x")
+    result, _ = check(ge(x, 0), le(x, 5), eq(2 * x, 3))
+    assert result == Result.UNSAT
+
+
+def test_branch_and_bound_finds_integer_point():
+    # x + y = 1, 2x - 2y = 1 has only the fractional solution (3/4, 1/4);
+    # relaxing to inequalities leaves integer points the solver must find.
+    x, y = intvar("x"), intvar("y")
+    result, solver = check(
+        ge(x, 0), le(x, 4), ge(y, 0), le(y, 4), eq(x + y, 3), ge(2 * x - 2 * y, 1)
+    )
+    assert result == Result.SAT
+    model = solver.model()
+    assert model[x] + model[y] == 3
+    assert 2 * model[x] - 2 * model[y] >= 1
+
+
+def test_boolean_guards_arithmetic():
+    x = intvar("x")
+    guard = boolvar("guard")
+    result, solver = check(
+        ge(x, 0),
+        le(x, 10),
+        implies(guard, ge(x, 7)),
+        implies(neg(guard), le(x, 2)),
+        ge(x, 5),
+    )
+    assert result == Result.SAT
+    model = solver.model()
+    assert model[guard] is True
+    assert model[x] >= 7
+
+
+def test_disjunction_of_constraints():
+    x = intvar("x")
+    result, solver = check(
+        ge(x, 0), le(x, 10), disj(eq(x, 3), eq(x, 8)), ne(x, 3)
+    )
+    assert result == Result.SAT
+    assert solver.model()[x] == 8
+
+
+def test_exactly_one_indicator():
+    indicators = [boolvar(f"state{i}") for i in range(4)]
+    result, solver = check(exactly_one(*indicators), neg(indicators[0]),
+                           neg(indicators[2]), neg(indicators[3]))
+    assert result == Result.SAT
+    assert solver.model()[indicators[1]] is True
+
+
+def test_zero_one_variables_as_ints():
+    # The ADVOCAT pattern: A.s in {0,1}, sum over states = 1.
+    states = [intvar(f"A.s{i}") for i in range(3)]
+    bounds = [conj(ge(s, 0), le(s, 1)) for s in states]
+    result, solver = check(*bounds, eq(sum(states[1:], states[0]), 1), eq(states[0], 0), eq(states[2], 0))
+    assert result == Result.SAT
+    assert solver.model()[states[1]] == 1
+
+
+def test_unsat_from_invariant():
+    # Invariant: x + y = 1; deadlock candidate needs x = 1 and y = 1.
+    x, y = intvar("x"), intvar("y")
+    result, _ = check(
+        ge(x, 0), le(x, 1), ge(y, 0), le(y, 1), eq(x + y, 1), eq(x, 1), eq(y, 1)
+    )
+    assert result == Result.UNSAT
+
+
+def test_strict_inequalities():
+    x, y = intvar("x"), intvar("y")
+    result, solver = check(ge(x, 0), le(x, 9), ge(y, 0), le(y, 9), lt(x, y), lt(y, x + 2))
+    assert result == Result.SAT
+    model = solver.model()
+    assert model[x] < model[y] < model[x] + 2
+
+
+def test_incremental_add_after_check():
+    x = intvar("x")
+    solver = Solver()
+    solver.add(ge(x, 0))
+    solver.add(le(x, 5))
+    assert solver.check() == Result.SAT
+    solver.add(ge(x, 6))
+    assert solver.check() == Result.UNSAT
+
+
+def test_model_before_check_raises():
+    solver = Solver()
+    with pytest.raises(RuntimeError):
+        solver.model()
+
+
+def test_unbounded_problem_budget():
+    # x unbounded with a purely fractional equality: branch and bound would
+    # walk forever; the split budget must kick in.
+    x, y = intvar("x"), intvar("y")
+    solver = Solver(max_splits=5)
+    solver.add(eq(2 * x - 4 * y, 1))
+    # No integer solution exists (lhs is even-ish: 2(x-2y) = 1 impossible);
+    # gcd tightening at construction already collapses this to FALSE.
+    assert solver.check() == Result.UNSAT
+
+
+def test_large_coefficient_exactness():
+    x = intvar("x")
+    big = 10**12
+    result, solver = check(ge(x, big), le(x, big))
+    assert result == Result.SAT
+    assert solver.model()[x] == big
+
+
+def test_stats_exposed():
+    x = intvar("x")
+    _, solver = check(ge(x, 0), le(x, 1))
+    assert "conflicts" in solver.stats
+    assert "splits" in solver.stats

@@ -1,0 +1,204 @@
+"""Unit tests for the term language and its normalisations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Not,
+    Or,
+    as_linexpr,
+    boolvar,
+    conj,
+    disj,
+    eq,
+    exactly_one,
+    ge,
+    gt,
+    iff,
+    implies,
+    intvar,
+    ite,
+    le,
+    lt,
+    ne,
+    neg,
+)
+
+
+def test_boolvar_interned_by_name():
+    assert boolvar("x") is boolvar("x")
+    assert boolvar("x") is not boolvar("y")
+
+
+def test_fresh_boolvars_distinct():
+    assert boolvar() is not boolvar()
+
+
+def test_intvars_are_nominal():
+    assert intvar("n") is not intvar("n")
+
+
+def test_neg_involution_and_constants():
+    x = boolvar("x")
+    assert neg(neg(x)) is x
+    assert neg(TRUE) is FALSE
+    assert neg(FALSE) is TRUE
+
+
+def test_conj_folding():
+    x, y = boolvar("x"), boolvar("y")
+    assert conj() is TRUE
+    assert conj(x) is x
+    assert conj(x, TRUE) is x
+    assert conj(x, FALSE) is FALSE
+    assert conj(x, neg(x)) is FALSE
+    assert conj(x, x, y) is conj(x, y)
+
+
+def test_disj_folding():
+    x, y = boolvar("x"), boolvar("y")
+    assert disj() is FALSE
+    assert disj(x) is x
+    assert disj(x, FALSE) is x
+    assert disj(x, TRUE) is TRUE
+    assert disj(x, neg(x)) is TRUE
+    assert disj(x, x, y) is disj(x, y)
+
+
+def test_conj_flattens_nested():
+    x, y, z = boolvar("x"), boolvar("y"), boolvar("z")
+    nested = conj(conj(x, y), z)
+    assert isinstance(nested, And)
+    assert set(nested.args) == {x, y, z}
+
+
+def test_disj_flattens_nested():
+    x, y, z = boolvar("x"), boolvar("y"), boolvar("z")
+    nested = disj(disj(x, y), z)
+    assert isinstance(nested, Or)
+    assert set(nested.args) == {x, y, z}
+
+
+def test_hash_consing_of_compounds():
+    x, y = boolvar("x"), boolvar("y")
+    assert conj(x, y) is conj(x, y)
+    assert disj(x, y) is disj(x, y)
+
+
+def test_implies_iff_ite_shapes():
+    x, y = boolvar("x"), boolvar("y")
+    assert implies(TRUE, y) is y
+    assert implies(FALSE, y) is TRUE
+    assert iff(x, x) is TRUE
+    assert ite(TRUE, x, y) is x
+
+
+def test_operator_sugar():
+    x, y = boolvar("x"), boolvar("y")
+    assert (x & y) is conj(x, y)
+    assert (x | y) is disj(x, y)
+    assert (~x) is neg(x)
+    assert (x >> y) is implies(x, y)
+
+
+def test_exactly_one_small():
+    x, y = boolvar("x"), boolvar("y")
+    term = exactly_one(x, y)
+    # (x|y) & (!x|!y)
+    assert isinstance(term, And)
+
+
+def test_le_constant_folding():
+    assert le(1, 2) is TRUE
+    assert le(2, 1) is FALSE
+    assert le(2, 2) is TRUE
+    assert lt(2, 2) is FALSE
+    assert ge(3, 2) is TRUE
+    assert gt(2, 3) is FALSE
+
+
+def test_atom_normalisation_shares_representation():
+    x = intvar("x")
+    # x <= 3 written three different ways must intern identically.
+    a = le(x, 3)
+    b = le(x - 3, 0)
+    c = le(2 * x, 6)
+    assert a is b is c
+
+
+def test_strict_inequality_integer_tightening():
+    x = intvar("x")
+    assert lt(x, 4) is le(x, 3)
+    assert gt(x, 4) is ge(x, 5)
+
+
+def test_fractional_coefficients_scaled_away():
+    x = intvar("x")
+    atom = le(Fraction(1, 2) * x, Fraction(3, 2))
+    assert atom is le(x, 3)
+
+
+def test_gcd_tightening_rounds_bound():
+    x = intvar("x")
+    # 2x <= 5 tightens to x <= 2 over the integers.
+    assert le(2 * x, 5) is le(x, 2)
+
+
+def test_eq_expands_to_two_inequalities():
+    x = intvar("x")
+    term = eq(x, 3)
+    assert isinstance(term, And)
+    assert le(x, 3) in term.args
+    assert ge(x, 3) in term.args
+
+
+def test_eq_with_unsatisfiable_gcd():
+    x = intvar("x")
+    # 2x = 3 has no integer solution: both tightened bounds conflict
+    # (2x<=3 -> x<=1 and 2x>=3 -> x>=2), and the conjunction stays symbolic.
+    term = eq(2 * x, 3)
+    assert isinstance(term, And)
+
+
+def test_ne_is_negation_of_eq():
+    x = intvar("x")
+    assert ne(x, 3) is neg(eq(x, 3))
+
+
+def test_linexpr_arithmetic():
+    x, y = intvar("x"), intvar("y")
+    expr = 2 * x + y - x + 1
+    assert expr.coeffs[x] == 1
+    assert expr.coeffs[y] == 1
+    assert expr.const == 1
+
+
+def test_linexpr_cancellation():
+    x = intvar("x")
+    expr = x - x
+    assert as_linexpr(expr).coeffs == {}
+
+
+def test_as_linexpr_rejects_junk():
+    with pytest.raises(TypeError):
+        as_linexpr("not an expression")
+
+
+def test_atom_evaluate():
+    x, y = intvar("x"), intvar("y")
+    atom = le(x + 2 * y, 4)
+    assert isinstance(atom, Atom)
+    assert atom.constraint.evaluate({x: 0, y: 2})
+    assert not atom.constraint.evaluate({x: 1, y: 2})
+
+
+def test_negated_atom_is_not_node():
+    x = intvar("x")
+    term = neg(le(x, 3))
+    assert isinstance(term, Not)
+    assert isinstance(term.arg, Atom)

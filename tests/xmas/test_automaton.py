@@ -1,0 +1,127 @@
+"""Tests for xMAS automata (Definitions 1 and 2)."""
+
+import pytest
+
+from repro.xmas import Automaton, Transition
+
+
+def simple_automaton():
+    return Automaton(
+        "A",
+        states=["idle", "busy"],
+        initial="idle",
+        in_ports=["cmd", "done"],
+        out_ports=["work"],
+        transitions=[
+            Transition(
+                name="start",
+                origin="idle",
+                target="busy",
+                in_port="cmd",
+                guard=lambda d: d == "go",
+                out_port="work",
+                produce=lambda d: ("job", d),
+            ),
+            Transition(
+                name="finish",
+                origin="busy",
+                target="idle",
+                in_port="done",
+            ),
+        ],
+    )
+
+
+def test_valid_construction():
+    a = simple_automaton()
+    assert a.initial == "idle"
+    assert {p.name for p in a.in_ports()} == {"cmd", "done"}
+    assert {p.name for p in a.out_ports()} == {"work"}
+
+
+def test_transition_guard_and_output():
+    a = simple_automaton()
+    start = a.transitions[0]
+    assert start.accepts("go")
+    assert not start.accepts("stop")
+    assert start.output("go") == ("work", ("job", "go"))
+
+
+def test_transition_without_output():
+    a = simple_automaton()
+    finish = a.transitions[1]
+    assert finish.accepts("anything")
+    assert finish.output("anything") is None
+
+
+def test_queries():
+    a = simple_automaton()
+    assert [t.name for t in a.transitions_from("idle")] == ["start"]
+    assert [t.name for t in a.transitions_into("idle")] == ["finish"]
+    assert [t.name for t in a.transitions_on_port("cmd")] == ["start"]
+
+
+def test_state_var_name():
+    a = simple_automaton()
+    assert a.state_var_name("idle") == "A.idle"
+
+
+def test_rejects_unknown_initial():
+    with pytest.raises(ValueError):
+        Automaton("A", states=["s"], initial="missing", in_ports=["i"],
+                  out_ports=[], transitions=[])
+
+
+def test_rejects_duplicate_states():
+    with pytest.raises(ValueError):
+        Automaton("A", states=["s", "s"], initial="s", in_ports=["i"],
+                  out_ports=[], transitions=[])
+
+
+def test_rejects_unknown_transition_state():
+    with pytest.raises(ValueError):
+        Automaton(
+            "A", states=["s"], initial="s", in_ports=["i"], out_ports=[],
+            transitions=[Transition("t", "s", "nowhere", "i")],
+        )
+
+
+def test_rejects_unknown_in_port():
+    with pytest.raises(ValueError):
+        Automaton(
+            "A", states=["s"], initial="s", in_ports=["i"], out_ports=[],
+            transitions=[Transition("t", "s", "s", "bogus")],
+        )
+
+
+def test_rejects_out_port_as_trigger():
+    with pytest.raises(ValueError):
+        Automaton(
+            "A", states=["s"], initial="s", in_ports=["i"], out_ports=["o"],
+            transitions=[Transition("t", "s", "s", "o")],
+        )
+
+
+def test_rejects_unknown_out_port():
+    with pytest.raises(ValueError):
+        Automaton(
+            "A", states=["s"], initial="s", in_ports=["i"], out_ports=["o"],
+            transitions=[
+                Transition("t", "s", "s", "i", out_port="bogus", produce=lambda d: d)
+            ],
+        )
+
+
+def test_rejects_duplicate_transition_names():
+    with pytest.raises(ValueError):
+        Automaton(
+            "A", states=["s"], initial="s", in_ports=["i"], out_ports=[],
+            transitions=[Transition("t", "s", "s", "i"), Transition("t", "s", "s", "i")],
+        )
+
+
+def test_transition_requires_produce_with_out_port():
+    with pytest.raises(ValueError):
+        Transition("t", "s", "s", "i", out_port="o")
+    with pytest.raises(ValueError):
+        Transition("t", "s", "s", "i", produce=lambda d: d)

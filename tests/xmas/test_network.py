@@ -1,0 +1,124 @@
+"""Tests for the network container, builder and validation."""
+
+import pytest
+
+from repro.netlib import producer_consumer, running_example, token_ring
+from repro.xmas import Network, NetworkBuilder, Queue, to_dot
+
+
+def test_producer_consumer_valid():
+    net = producer_consumer()
+    net.validate()
+    assert net.stats()["queues"] == 1
+    assert net.stats()["primitives"] == 3
+
+
+def test_running_example_structure():
+    example = running_example()
+    stats = example.network.stats()
+    assert stats["automata"] == 2
+    assert stats["queues"] == 2
+    assert stats["sources"] == 2
+    assert stats["channels"] == 6
+
+
+def test_token_ring_cycle():
+    net = token_ring(4)
+    assert net.stats()["queues"] == 4
+
+
+def test_duplicate_primitive_rejected():
+    net = Network()
+    net.add(Queue("q", 1))
+    with pytest.raises(ValueError):
+        net.add(Queue("q", 2))
+
+
+def test_connect_requires_registered_primitives():
+    net = Network()
+    foreign = Queue("q", 1)
+    registered = net.add(Queue("p", 1))
+    with pytest.raises(ValueError):
+        net.connect(foreign.o, registered.i)
+
+
+def test_connect_direction_enforced():
+    builder = NetworkBuilder()
+    a = builder.queue("a", 1)
+    b = builder.queue("b", 1)
+    with pytest.raises(ValueError):
+        builder.connect(a.i, b.o)  # wrong directions
+
+
+def test_double_connection_rejected():
+    builder = NetworkBuilder()
+    a = builder.queue("a", 1)
+    b = builder.queue("b", 1)
+    c = builder.queue("c", 1)
+    builder.connect(a.o, b.i)
+    with pytest.raises(ValueError):
+        builder.connect(a.o, c.i)
+
+
+def test_validate_flags_unconnected_ports():
+    builder = NetworkBuilder()
+    builder.queue("a", 1)
+    with pytest.raises(ValueError, match="unconnected"):
+        builder.build()
+
+
+def test_validate_flags_unreachable_states():
+    from repro.xmas import Transition
+
+    builder = NetworkBuilder()
+    src = builder.source("src", colors={"x"})
+    auto = builder.automaton(
+        "A",
+        states=["s0", "dead_state"],
+        initial="s0",
+        in_ports=["i"],
+        out_ports=[],
+        transitions=[Transition("loop", "s0", "s0", "i")],
+    )
+    builder.connect(src.o, auto.port("i"))
+    with pytest.raises(ValueError, match="unreachable"):
+        builder.build()
+
+
+def test_getitem_and_contains():
+    net = producer_consumer()
+    assert "q" in net
+    assert net["q"].size == 2
+
+
+def test_channel_of_unconnected_port_raises():
+    net = Network()
+    q = net.add(Queue("q", 1))
+    with pytest.raises(ValueError):
+        net.channel_of(q.i)
+
+
+def test_pipeline_helper():
+    builder = NetworkBuilder()
+    a = builder.queue("a", 1)
+    b = builder.queue("b", 1)
+    src = builder.source("s", colors={"x"})
+    snk = builder.sink("k")
+    channels = builder.pipeline(src.o, a.i, a.o, b.i, b.o, snk.i)
+    assert len(channels) == 3
+    builder.build()
+
+
+def test_pipeline_odd_ports_rejected():
+    builder = NetworkBuilder()
+    src = builder.source("s", colors={"x"})
+    with pytest.raises(ValueError):
+        builder.pipeline(src.o)
+
+
+def test_dot_export_mentions_all_primitives():
+    example = running_example()
+    dot = to_dot(example.network)
+    for name in example.network.primitives:
+        assert name in dot
+    assert dot.startswith("digraph")

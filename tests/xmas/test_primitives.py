@@ -1,0 +1,106 @@
+"""Structural tests for the xMAS primitives."""
+
+import pytest
+
+from repro.xmas import (
+    Direction,
+    Fork,
+    Function,
+    Join,
+    Merge,
+    Queue,
+    Sink,
+    Source,
+    Switch,
+)
+
+
+def test_queue_ports():
+    q = Queue("q", size=3)
+    assert q.i.direction is Direction.IN
+    assert q.o.direction is Direction.OUT
+    assert q.size == 3
+    assert not q.rotating
+
+
+def test_queue_rejects_zero_size():
+    with pytest.raises(ValueError):
+        Queue("q", size=0)
+
+
+def test_rotating_queue_flag():
+    q = Queue("q", size=1, rotating=True)
+    assert q.rotating
+
+
+def test_function_applies():
+    f = Function("f", fn=lambda d: d.upper())
+    assert f.fn("abc") == "ABC"
+    assert len(f.in_ports()) == 1
+    assert len(f.out_ports()) == 1
+
+
+def test_source_colors_frozen():
+    s = Source("s", colors=["a", "b", "a"])
+    assert s.colors == frozenset({"a", "b"})
+
+
+def test_source_requires_colors():
+    with pytest.raises(ValueError):
+        Source("s", colors=[])
+
+
+def test_sink_fairness_default():
+    assert Sink("k").fair
+    assert not Sink("k2", fair=False).fair
+
+
+def test_fork_default_copies():
+    f = Fork("f")
+    assert f.fn_a("x") == "x"
+    assert f.fn_b("x") == "x"
+    assert {p.name for p in f.out_ports()} == {"a", "b"}
+
+
+def test_fork_with_transforms():
+    f = Fork("f", fn_a=lambda d: ("left", d), fn_b=lambda d: ("right", d))
+    assert f.fn_a("x") == ("left", "x")
+    assert f.fn_b("x") == ("right", "x")
+
+
+def test_join_default_takes_first():
+    j = Join("j")
+    assert j.combine("data", "token") == "data"
+    assert {p.name for p in j.in_ports()} == {"a", "b"}
+
+
+def test_switch_ports_and_routing():
+    sw = Switch("sw", route=lambda d: d % 3, n_outputs=3)
+    assert len(sw.outs) == 3
+    assert sw.route(5) == 2
+    assert [p.name for p in sw.outs] == ["o0", "o1", "o2"]
+
+
+def test_switch_minimum_outputs():
+    with pytest.raises(ValueError):
+        Switch("sw", route=lambda d: 0, n_outputs=1)
+
+
+def test_merge_ports():
+    m = Merge("m", n_inputs=4)
+    assert len(m.ins) == 4
+    assert m.o.direction is Direction.OUT
+
+
+def test_merge_minimum_inputs():
+    with pytest.raises(ValueError):
+        Merge("m", n_inputs=1)
+
+
+def test_qualified_port_names():
+    q = Queue("router0_in", size=1)
+    assert q.i.qualified_name == "router0_in.i"
+
+
+def test_repr():
+    assert repr(Queue("q", 1)) == "Queue(q)"
