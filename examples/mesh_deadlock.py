@@ -6,14 +6,15 @@ deadlock-free XY mesh deadlocks: the directory waits for the owner's putX,
 which cannot reach it past an ejection queue full of other caches' stalled
 requests.  With queue size 3 the same system verifies deadlock-free.
 
-The script verifies both sizes with ADVOCAT, then *confirms* the size-2
-deadlock is reachable by replaying an explicit-state counterexample trace.
+One parametric ``VerificationSession`` carries the whole script: it finds
+the size-2 candidates, a replayed explicit-state trace *confirms* one is
+reachable, and ``resize_queues(3)`` re-proves the system deadlock-free
+without rebuilding the encoding.
 
 Run:  python examples/mesh_deadlock.py
 """
 
-from repro import verify
-from repro.core import enumerate_witnesses
+from repro import VerificationSession
 from repro.mc import Explorer
 from repro.protocols import abstract_mi_mesh
 
@@ -22,13 +23,17 @@ def main() -> None:
     # --- queue size 2: cross-layer deadlock --------------------------------
     inst = abstract_mi_mesh(2, 2, queue_size=2)
     print(f"2x2 mesh, queue size 2: {inst.network.stats()}")
-    result = verify(inst.network)
+    session = VerificationSession(inst.network, parametric_queues=True)
+    session.add_invariants()
+    result = session.verify()
     print(f"ADVOCAT verdict: {result.verdict.value}")
     assert not result.deadlock_free
 
     explorer = Explorer(inst.network)
     print("\nsearching for a reachable witness among SMT candidates ...")
-    for witness in enumerate_witnesses(inst.network, limit=12):
+    # No small limit: candidate order varies with hash seeding, and the
+    # reachable witness must be found wherever it lands in the enumeration.
+    for witness in session.enumerate_witnesses(limit=10_000):
         confirmation = explorer.confirm_witness(
             witness.automaton_states, witness.queue_contents,
             max_states=400_000,
@@ -43,14 +48,15 @@ def main() -> None:
     else:
         raise SystemExit("no SMT candidate confirmed — unexpected")
 
-    # --- queue size 3: deadlock-free ----------------------------------------
-    inst3 = abstract_mi_mesh(2, 2, queue_size=3)
-    result3 = verify(inst3.network)
+    # --- queue size 3: deadlock-free — same session, new capacities --------
+    session.resize_queues(3)
+    result3 = session.verify()
     print(f"\n2x2 mesh, queue size 3: {result3.verdict.value}")
     assert result3.deadlock_free
     print(f"({result3.stats['invariant_count']} invariants; "
           f"solver: {result3.stats['solver']})")
 
+    inst3 = abstract_mi_mesh(2, 2, queue_size=3)
     exploration = Explorer(inst3.network).find_deadlock(max_states=500_000)
     print(
         f"explicit-state cross-check: exhausted={exploration.exhausted}, "

@@ -1,16 +1,17 @@
 #!/usr/bin/env python3
 """Quickstart: verify the paper's running example (Figure 1).
 
-Builds the two-automata/two-queue network, derives the cross-layer
-invariants automatically, shows the deadlock candidates that plain
-block/idle analysis reports, and proves deadlock freedom once the
-invariants are added — reproducing Sections 1 and 3 of the paper.
+Builds the two-automata/two-queue network and drives one incremental
+``VerificationSession`` through the paper's storyline: plain block/idle
+analysis reports (unreachable) deadlock candidates, the automatically
+derived cross-layer invariants are conjoined, and the same session —
+reusing its encoding and every learned clause — then proves deadlock
+freedom, reproducing Sections 1 and 3 of the paper.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import verify
-from repro.core import VarPool, derive_colors, generate_invariants
+from repro import VerificationSession
 from repro.mc import Explorer
 from repro.netlib import running_example
 
@@ -20,26 +21,33 @@ def main() -> None:
     network = example.network
     print(f"network: {network.stats()}")
 
-    # 1. Automatic cross-layer invariants (Section 4).
-    pool = VarPool()
-    invariants = generate_invariants(network, derive_colors(network), pool)
+    # One session: colors, block/idle equations and the tagged deadlock
+    # assertion are built exactly once; every query below is incremental.
+    session = VerificationSession(network)
+
+    # 1. Plain block/idle detection reports unreachable candidates
+    #    (Section 3: the two candidates (s1,t0)/empty and (s0,t1)/full).
+    without = session.verify()
+    print(f"\nwithout invariants: {without.verdict.value}")
+    for witness in session.enumerate_witnesses(limit=4):
+        print(witness.pretty())
+
+    # 2. Ask about one disjunct only: can queue q0 hold a stuck request?
+    q0_result = session.verify_channel(example.q_req, "req")
+    print(f"\nq0 stuck-request query: {q0_result.verdict.value}")
+
+    # 3. Automatic cross-layer invariants (Section 4), conjoined in place.
+    invariants = session.add_invariants()
     print(f"\n{len(invariants)} invariants derived automatically:")
     for invariant in invariants:
         print(f"  {invariant.pretty()}")
 
-    # 2. Plain block/idle detection reports unreachable candidates
-    #    (Section 3: the two candidates (s1,t0)/empty and (s0,t1)/full).
-    without = verify(network, use_invariants=False)
-    print(f"\nwithout invariants: {without.verdict.value}")
-    if without.witness:
-        print(without.witness.pretty())
-
-    # 3. With invariants the system is proved deadlock-free (Section 1).
-    result = verify(network, use_invariants=True)
+    # 4. The very same session now proves deadlock freedom (Section 1).
+    result = session.verify()
     print(f"\nwith invariants: {result.verdict.value}")
     assert result.deadlock_free
 
-    # 4. Cross-check with exhaustive explicit-state search (UPPAAL stand-in).
+    # 5. Cross-check with exhaustive explicit-state search (UPPAAL stand-in).
     exploration = Explorer(network).find_deadlock()
     print(
         f"explicit-state check: exhausted={exploration.exhausted}, "

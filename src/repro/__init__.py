@@ -21,6 +21,7 @@ from .core import (
     Invariant,
     Verdict,
     VerificationResult,
+    VerificationSession,
     derive_colors,
     encode_deadlock,
     generate_invariants,
@@ -28,9 +29,10 @@ from .core import (
     verify,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "VerificationSession",
     "verify",
     "derive_colors",
     "generate_invariants",

@@ -2,15 +2,20 @@
 
 Public entry points:
 
-* :func:`verify` — full pipeline (colors → invariants → block/idle → SMT).
+* :class:`VerificationSession` — incremental engine: build the encoding
+  once, answer many queries (full check, per-channel checks, witness
+  enumeration, queue resizing) by assumption.
+* :func:`verify` — one-shot full pipeline (colors → invariants →
+  block/idle → SMT), a thin wrapper over a throwaway session.
 * :func:`derive_colors` — the T-derivation (Section 3).
 * :func:`generate_invariants` — cross-layer invariants (Section 4).
 * :func:`encode_deadlock` — block/idle equations + deadlock assertion.
-* :func:`minimal_queue_size` — Figure-4 style queue sizing.
+* :func:`minimal_queue_size` — Figure-4 style queue sizing on one session.
 """
 
 from .colors import ColorDerivationError, ColorMap, derive_colors
-from .deadlock import DeadlockEncoding, encode_deadlock
+from .deadlock import DeadlockCase, DeadlockEncoding, encode_deadlock
+from .engine import VerificationSession
 from .invariants import build_flow_rows, generate_invariants
 from .proof import enumerate_witnesses, verify
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
@@ -18,6 +23,7 @@ from .sizing import SizingResult, minimal_queue_size
 from .vars import VarPool, color_label
 
 __all__ = [
+    "VerificationSession",
     "verify",
     "enumerate_witnesses",
     "derive_colors",
@@ -26,6 +32,7 @@ __all__ = [
     "minimal_queue_size",
     "ColorMap",
     "ColorDerivationError",
+    "DeadlockCase",
     "DeadlockEncoding",
     "DeadlockWitness",
     "Invariant",

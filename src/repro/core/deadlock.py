@@ -31,9 +31,23 @@ rule demands *every present* color be stuck before the queue blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Mapping
 
-from ..smt import FALSE, TRUE, Term, conj, disj, eq, ge, iff, implies, le, neg
+from ..smt import (
+    FALSE,
+    TRUE,
+    IntVar,
+    Term,
+    boolvar,
+    conj,
+    disj,
+    eq,
+    ge,
+    iff,
+    implies,
+    le,
+    neg,
+)
 from ..xmas import (
     Automaton,
     Channel,
@@ -48,11 +62,35 @@ from ..xmas import (
     Switch,
 )
 from .colors import ColorMap
-from .vars import VarPool
+from .vars import VarPool, color_label
 
-__all__ = ["DeadlockEncoding", "encode_deadlock"]
+__all__ = ["DeadlockCase", "DeadlockEncoding", "encode_deadlock"]
 
 Color = Hashable
+
+# How queue capacities enter the encoding: by default the literal
+# ``queue.size``; a ``VerificationSession`` may instead supply one IntVar
+# per queue so different sizes can be probed by assumption alone.
+Capacities = Mapping[str, IntVar]
+
+
+@dataclass(frozen=True)
+class DeadlockCase:
+    """One disjunct of the deadlock assertion, tagged with a guard literal.
+
+    ``guard`` is a fresh boolean variable constrained (by
+    :meth:`DeadlockEncoding.guard_terms`) to imply ``term``.  Assuming a
+    single guard asks the incremental engine "is *this* queue/color (or
+    source/color) a deadlock candidate?" without touching the other
+    disjuncts — and without invalidating any learned clause.
+    """
+
+    label: str
+    kind: str  # "queue" | "source"
+    subject: str  # name of the queue / source primitive
+    color: Color
+    term: Term
+    guard: Term
 
 
 @dataclass
@@ -62,11 +100,37 @@ class DeadlockEncoding:
     definitions: list[Term] = field(default_factory=list)
     domain: list[Term] = field(default_factory=list)
     assertion: Term = FALSE
-    # Disjuncts of the assertion, labelled for witness extraction.
-    assertion_cases: list[tuple[str, Term]] = field(default_factory=list)
+    # The assertion's disjuncts with their assumption guards.
+    cases: list[DeadlockCase] = field(default_factory=list)
+    # Master guard: assuming it asserts "some disjunct fires".
+    any_guard: Term = FALSE
+
+    @property
+    def assertion_cases(self) -> list[tuple[str, Term]]:
+        """Labelled disjuncts of the assertion (derived from ``cases``)."""
+        return [(case.label, case.term) for case in self.cases]
 
     def all_terms(self) -> list[Term]:
         return [*self.definitions, *self.domain, self.assertion]
+
+    def guard_terms(self) -> list[Term]:
+        """Guard wiring for assumption-based querying.
+
+        ``guardᵢ → caseᵢ`` for every disjunct plus
+        ``any_guard → ⋁ᵢ guardᵢ``.  Guards are otherwise free, so adding
+        these terms never changes satisfiability of the base encoding.
+        """
+        wiring = [implies(case.guard, case.term) for case in self.cases]
+        wiring.append(
+            implies(self.any_guard, disj(*(case.guard for case in self.cases)))
+        )
+        return wiring
+
+    def case_of(self, kind: str, subject: str, color: Color) -> DeadlockCase:
+        for case in self.cases:
+            if case.kind == kind and case.subject == subject and case.color == color:
+                return case
+        raise KeyError(f"no deadlock case for {kind} {subject!r} color {color!r}")
 
 
 def encode_deadlock(
@@ -74,14 +138,21 @@ def encode_deadlock(
     colors: ColorMap,
     pool: VarPool,
     rotating_precision: bool = True,
+    capacities: Capacities | None = None,
 ) -> DeadlockEncoding:
-    """Build the block/idle equation system and deadlock assertion."""
+    """Build the block/idle equation system and deadlock assertion.
+
+    With ``capacities`` (queue name → IntVar), queue sizes enter the
+    formula symbolically instead of as the networks' literal ``size``
+    attributes; the caller is responsible for pinning each capacity
+    variable (e.g. by assumption) before checking.
+    """
     enc = DeadlockEncoding()
-    _encode_domains(network, colors, pool, enc)
+    _encode_domains(network, colors, pool, enc, capacities)
     for channel in network.channels:
         for color in colors.of(channel):
             block_def = _block_rhs(
-                network, colors, pool, channel, color, rotating_precision
+                network, colors, pool, channel, color, rotating_precision, capacities
             )
             idle_def = _idle_rhs(network, colors, pool, channel, color)
             enc.definitions.append(iff(pool.block(channel, color), block_def))
@@ -94,25 +165,40 @@ def encode_deadlock(
     return enc
 
 
+def _capacity(queue: Queue, capacities: Capacities | None) -> IntVar | int:
+    if capacities is None:
+        return queue.size
+    return capacities[queue.name]
+
+
 # ---------------------------------------------------------------------------
 # Domain constraints
 # ---------------------------------------------------------------------------
 
 
 def _encode_domains(
-    network: Network, colors: ColorMap, pool: VarPool, enc: DeadlockEncoding
+    network: Network,
+    colors: ColorMap,
+    pool: VarPool,
+    enc: DeadlockEncoding,
+    capacities: Capacities | None,
 ) -> None:
     for queue in network.queues():
+        capacity = _capacity(queue, capacities)
         occupancies = [
             pool.occupancy(queue, color)
             for color in colors.of(network.channel_of(queue.i))
         ]
         for var in occupancies:
             enc.domain.append(ge(var, 0))
-            enc.domain.append(le(var, queue.size))
+            if capacities is None:
+                enc.domain.append(le(var, capacity))
+            # Parametric mode: per-color ≤ cap is implied by the total row
+            # below plus nonnegativity; leaving it out keeps one slack
+            # column per queue instead of one per (queue, color).
         if occupancies:
             total = sum(occupancies[1:], occupancies[0] + 0)
-            enc.domain.append(le(total, queue.size))
+            enc.domain.append(le(total, capacity))
     for automaton in network.automata():
         state_vars = [pool.state(automaton, s) for s in automaton.states]
         for var in state_vars:
@@ -122,7 +208,13 @@ def _encode_domains(
         enc.domain.append(eq(total, 1))
 
 
-def _queue_full(queue: Queue, colors: ColorMap, pool: VarPool, network: Network) -> Term:
+def _queue_full(
+    queue: Queue,
+    colors: ColorMap,
+    pool: VarPool,
+    network: Network,
+    capacities: Capacities | None,
+) -> Term:
     occupancies = [
         pool.occupancy(queue, color)
         for color in colors.of(network.channel_of(queue.i))
@@ -130,7 +222,7 @@ def _queue_full(queue: Queue, colors: ColorMap, pool: VarPool, network: Network)
     if not occupancies:
         return FALSE  # a queue no color can reach is never full
     total = sum(occupancies[1:], occupancies[0] + 0)
-    return eq(total, queue.size)
+    return eq(total, _capacity(queue, capacities))
 
 
 # ---------------------------------------------------------------------------
@@ -145,6 +237,7 @@ def _block_rhs(
     channel: Channel,
     color: Color,
     rotating_precision: bool,
+    capacities: Capacities | None,
 ) -> Term:
     target = channel.target.owner
     port = channel.target
@@ -152,6 +245,7 @@ def _block_rhs(
     if isinstance(target, Queue):
         out_channel = network.channel_of(target.o)
         head_colors = colors.of(out_channel)
+        full = _queue_full(target, colors, pool, network, capacities)
         if target.rotating and rotating_precision:
             # Rotation lets consumable heads bypass stuck ones: the queue
             # only blocks when every color actually present is stuck.
@@ -164,14 +258,14 @@ def _block_rhs(
                     for d in head_colors
                 )
             )
-            return conj(_queue_full(target, colors, pool, network), stuck_all)
+            return conj(full, stuck_all)
         stuck_head = disj(
             *(
                 conj(ge(pool.occupancy(target, d), 1), pool.block(out_channel, d))
                 for d in head_colors
             )
         )
-        return conj(_queue_full(target, colors, pool, network), stuck_head)
+        return conj(full, stuck_head)
 
     if isinstance(target, Function):
         out_channel = network.channel_of(target.o)
@@ -389,27 +483,41 @@ def _transition_dead(
 def _encode_assertion(
     network: Network, colors: ColorMap, pool: VarPool, enc: DeadlockEncoding
 ) -> None:
-    cases: list[tuple[str, Term]] = []
+    def make_case(label: str, kind: str, subject: str, color: Color, term: Term):
+        guard = boolvar(f"dl[{kind}:{subject}:{color_label(color)}]")
+        enc.cases.append(
+            DeadlockCase(
+                label=label,
+                kind=kind,
+                subject=subject,
+                color=color,
+                term=term,
+                guard=guard,
+            )
+        )
+
     for queue in network.queues():
         out_channel = network.channel_of(queue.o)
         for color in colors.of(out_channel):
-            cases.append(
-                (
-                    f"queue {queue.name} holds stuck {color!r}",
-                    conj(
-                        ge(pool.occupancy(queue, color), 1),
-                        pool.block(out_channel, color),
-                    ),
-                )
+            make_case(
+                f"queue {queue.name} holds stuck {color!r}",
+                "queue",
+                queue.name,
+                color,
+                conj(
+                    ge(pool.occupancy(queue, color), 1),
+                    pool.block(out_channel, color),
+                ),
             )
     for source in network.sources():
         out_channel = network.channel_of(source.o)
         for color in source.colors:
-            cases.append(
-                (
-                    f"source {source.name} permanently blocked on {color!r}",
-                    pool.block(out_channel, color),
-                )
+            make_case(
+                f"source {source.name} permanently blocked on {color!r}",
+                "source",
+                source.name,
+                color,
+                pool.block(out_channel, color),
             )
-    enc.assertion_cases = cases
-    enc.assertion = disj(*(term for _, term in cases))
+    enc.assertion = disj(*(case.term for case in enc.cases))
+    enc.any_guard = boolvar(f"dl[any:{network.name}]")

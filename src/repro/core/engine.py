@@ -1,0 +1,298 @@
+"""The incremental verification engine: one encoding, many queries.
+
+ADVOCAT's workflow is inherently *many queries over one model*: the
+block/idle equation system is fixed per network, but it is re-solved under
+different assertions — the full deadlock check, per-channel candidate
+queries, invariant-strengthened re-checks, witness enumeration, and the
+Figure-4 queue-size sweep.  :class:`VerificationSession` builds the colors,
+invariants and encoding **once**, loads them into one incremental
+:class:`~repro.smt.Solver`, and answers every query by *assumption*:
+
+* each disjunct of the deadlock assertion carries a guard literal
+  (:class:`~repro.core.deadlock.DeadlockCase`), so ``verify_channel`` asks
+  about a single queue/color by assuming that one guard;
+* ``verify`` assumes the master guard ("some disjunct fires");
+* queue capacities are (by default) symbolic ``cap[q]`` variables pinned by
+  assumption, so ``resize_queues`` re-probes a different size without
+  rebuilding anything;
+* ``enumerate_witnesses`` guards its blocking clauses behind a fresh
+  per-enumeration assumption literal (assumed only by its own checks and
+  retired when the generator finishes), so enumeration leaves the session
+  reusable and never influences concurrent queries.
+
+All clauses the CDCL core learns while answering one query — including
+branch-and-bound splits and theory-conflict clauses — remain in force for
+every later query, which is where the severalfold speed-up of the sweep
+benchmarks comes from (see ``benchmarks/bench_incremental.py``).
+
+:func:`repro.core.proof.verify` and friends are thin wrappers over a
+throwaway session, so the one-shot API is unchanged.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Hashable, Iterator, Mapping
+
+from ..smt import Result, Solver, Term, boolvar, conj, eq, ge, implies, intvar, neg
+from ..util import Stopwatch
+from ..xmas import Network, Queue, Source
+from .colors import derive_colors
+from .deadlock import DeadlockCase, encode_deadlock
+from .invariants import generate_invariants
+from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
+from .vars import VarPool
+
+__all__ = ["VerificationSession"]
+
+Color = Hashable
+
+
+class VerificationSession:
+    """Incremental, assumption-based verification of one xMAS network.
+
+    Parameters
+    ----------
+    network:
+        A validated (or validatable) closed xMAS network.
+    rotating_precision:
+        Use the stronger block rule for ``rotating`` queues (see
+        :mod:`repro.core.deadlock`).
+    max_splits:
+        Branch-and-bound budget forwarded to the SMT solver, per query.
+    parametric_queues:
+        Encode queue capacities as symbolic ``cap[q]`` variables pinned by
+        assumption (required by :meth:`resize_queues`).  With ``False`` the
+        literal ``queue.size`` values are baked in, reproducing the
+        one-shot encoding exactly.
+
+    Invariants are *not* generated up front; call :meth:`add_invariants`
+    to derive and conjoin them (idempotent).  This keeps the plain
+    block/idle mode (paper Section 3) available from the same session.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rotating_precision: bool = True,
+        max_splits: int = 100_000,
+        parametric_queues: bool = True,
+    ):
+        network.validate()
+        self.network = network
+        self.watch = Stopwatch()
+        with self.watch.phase("color derivation"):
+            self.colors = derive_colors(network)
+        self.pool = VarPool()
+        self.solver = Solver(max_splits=max_splits)
+        self._parametric = parametric_queues
+        self._sizes: dict[str, int] = {q.name: q.size for q in network.queues()}
+        self._capacities = (
+            {q.name: intvar(f"cap[{q.name}]") for q in network.queues()}
+            if parametric_queues
+            else {}
+        )
+        self._size_guards: dict[tuple[str, int], Term] = {}
+        self._invariants: list[Invariant] = []
+        self._invariants_added = False
+        with self.watch.phase("deadlock encoding"):
+            self.encoding = encode_deadlock(
+                network,
+                self.colors,
+                self.pool,
+                rotating_precision=rotating_precision,
+                capacities=self._capacities if parametric_queues else None,
+            )
+        with self.watch.phase("smt solving"):
+            for term in self.encoding.definitions:
+                self.solver.add(term)
+            for term in self.encoding.domain:
+                self.solver.add(term)
+            for term in self.encoding.guard_terms():
+                self.solver.add(term)
+            for capacity in self._capacities.values():
+                self.solver.add(ge(capacity, 0))
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_invariants(self) -> list[Invariant]:
+        """Derive the cross-layer invariants and conjoin them (idempotent).
+
+        Invariants hold in every reachable configuration, so adding them is
+        a permanent, sound strengthening — there is nothing to retract.
+        """
+        if not self._invariants_added:
+            with self.watch.phase("invariant generation"):
+                self._invariants = generate_invariants(
+                    self.network, self.colors, self.pool
+                )
+            with self.watch.phase("smt solving"):
+                for invariant in self._invariants:
+                    self.solver.add_global(invariant.term())
+            self._invariants_added = True
+        return list(self._invariants)
+
+    @property
+    def invariants(self) -> list[Invariant]:
+        return list(self._invariants)
+
+    def resize_queues(self, sizes: int | Mapping[str, int]) -> None:
+        """Re-target later queries at different queue capacities.
+
+        ``sizes`` is either one uniform size or a mapping from queue name
+        to size (unmentioned queues keep their current size).  Requires
+        ``parametric_queues``; nothing is re-encoded — each (queue, size)
+        pair lazily gets a guard literal implying ``cap[q] == size``, and
+        queries assume the guards of the current sizes.
+        """
+        if not self._parametric:
+            raise RuntimeError(
+                "resize_queues() requires parametric_queues=True "
+                "(queue sizes were baked into the encoding)"
+            )
+        if isinstance(sizes, int):
+            update = {name: sizes for name in self._sizes}
+        else:
+            unknown = set(sizes) - set(self._sizes)
+            if unknown:
+                raise KeyError(f"unknown queues: {sorted(unknown)}")
+            update = dict(sizes)
+        for name, size in update.items():
+            if size < 0:
+                raise ValueError(f"queue {name!r}: negative capacity {size}")
+        self._sizes.update(update)
+
+    @property
+    def queue_sizes(self) -> dict[str, int]:
+        return dict(self._sizes)
+
+    def _capacity_assumptions(self) -> list[Term]:
+        if not self._parametric:
+            return []
+        assumptions = []
+        for name, size in self._sizes.items():
+            guard = self._size_guards.get((name, size))
+            if guard is None:
+                guard = boolvar(f"cap[{name}=={size}]")
+                # add_global: the guard definition must outlive any scope
+                # open at first use (e.g. during witness enumeration).
+                self.solver.add_global(
+                    implies(guard, eq(self._capacities[name], size))
+                )
+                self._size_guards[(name, size)] = guard
+            assumptions.append(guard)
+        return assumptions
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _run(self, assumptions: list[Term]) -> VerificationResult:
+        solve_start = perf_counter()
+        with self.watch.phase("smt solving"):
+            outcome = self.solver.check(assumptions=assumptions)
+        stats = {
+            "network": self.network.stats(),
+            "color_pairs": self.colors.total_pairs(),
+            "invariant_count": len(self._invariants),
+            # Per-query deltas: this check's solver counters and wall time.
+            "solver": dict(self.solver.stats),
+            "solve_seconds": perf_counter() - solve_start,
+            # Cumulative session phase times (encoding built once, queries
+            # accumulate under "smt solving") — not per-query.
+            "durations": dict(self.watch.durations),
+        }
+        if self._parametric:
+            stats["queue_sizes"] = dict(self._sizes)
+        if outcome == Result.UNSAT:
+            return VerificationResult(
+                Verdict.DEADLOCK_FREE, invariants=list(self._invariants), stats=stats
+            )
+        from .proof import extract_witness
+
+        witness = extract_witness(
+            self.network, self.colors, self.pool, self.solver, self.encoding
+        )
+        return VerificationResult(
+            Verdict.DEADLOCK_CANDIDATE,
+            witness=witness,
+            invariants=list(self._invariants),
+            stats=stats,
+        )
+
+    def verify(self) -> VerificationResult:
+        """The full deadlock check: "does *some* disjunct fire?"."""
+        return self._run(
+            [self.encoding.any_guard, *self._capacity_assumptions()]
+        )
+
+    def verify_case(self, case: DeadlockCase) -> VerificationResult:
+        """Check one tagged disjunct of the deadlock assertion."""
+        return self._run([case.guard, *self._capacity_assumptions()])
+
+    def verify_channel(self, queue: Queue | str, color: Color) -> VerificationResult:
+        """Can ``queue`` hold a permanently stuck ``color`` packet?"""
+        name = queue if isinstance(queue, str) else queue.name
+        return self.verify_case(self.encoding.case_of("queue", name, color))
+
+    def verify_source(self, source: Source | str, color: Color) -> VerificationResult:
+        """Can ``source`` be permanently refused ``color`` packets?"""
+        name = source if isinstance(source, str) else source.name
+        return self.verify_case(self.encoding.case_of("source", name, color))
+
+    def enumerate_witnesses(self, limit: int = 16) -> Iterator[DeadlockWitness]:
+        """Yield distinct deadlock candidates (up to ``limit``).
+
+        Each witness differs from all previous ones in automaton states or
+        in some queue-occupancy value.  Blocking clauses are guarded by a
+        fresh assumption literal that only *this generator's* checks
+        assume, so a suspended enumeration never influences other session
+        queries — ``verify``/``verify_case`` stay sound mid-enumeration,
+        and several enumerations can run interleaved, each independent.
+        """
+        enum_guard = boolvar()  # fresh anonymous guard per enumeration
+        try:
+            for _ in range(limit):
+                result = self._run(
+                    [
+                        self.encoding.any_guard,
+                        enum_guard,
+                        *self._capacity_assumptions(),
+                    ]
+                )
+                if result.deadlock_free:
+                    return
+                # Capture the blocking shape *before* yielding: while this
+                # generator is suspended, other session queries may run and
+                # invalidate the solver's current model.
+                model = self.solver.model()
+                shape = []
+                for automaton in self.network.automata():
+                    for state in automaton.states:
+                        var = self.pool.state(automaton, state)
+                        shape.append(eq(var, model[var]))
+                for queue in self.network.queues():
+                    for color in self.colors.of(self.network.channel_of(queue.i)):
+                        var = self.pool.occupancy(queue, color)
+                        shape.append(eq(var, model[var]))
+                yield result.witness
+                self.solver.add_global(
+                    implies(enum_guard, neg(conj(*shape)))
+                )
+        finally:
+            # Retire the guard so its blocking clauses are satisfied (and
+            # never burden later searches), even on early abandonment.
+            self.solver.add_global(neg(enum_guard))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cumulative session statistics (durations, solver clause count)."""
+        return {
+            "network": self.network.stats(),
+            "color_pairs": self.colors.total_pairs(),
+            "invariant_count": len(self._invariants),
+            "clauses": self.solver.clause_count(),
+            "durations": dict(self.watch.durations),
+        }

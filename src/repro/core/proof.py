@@ -1,6 +1,6 @@
 """The ADVOCAT proof engine: colors → invariants → block/idle → SMT verdict.
 
-:func:`verify` is the library's main entry point.  It returns a
+:func:`verify` is the library's one-shot entry point.  It returns a
 :class:`~repro.core.result.VerificationResult`:
 
 * ``DEADLOCK_FREE`` — the equation system conjoined with the invariants and
@@ -10,17 +10,21 @@
   occupancies and automaton states are returned as a
   :class:`~repro.core.result.DeadlockWitness`.  The candidate may be
   unreachable (a false negative); :mod:`repro.mc` can confirm small ones.
+
+Both :func:`verify` and :func:`enumerate_witnesses` are thin wrappers over
+a throwaway :class:`~repro.core.engine.VerificationSession`; callers that
+issue several queries against the same network should hold a session
+directly and let it reuse the encoding and every learned clause.
 """
 
 from __future__ import annotations
 
-from ..smt import Result, Solver
+from ..smt import Solver
 from ..xmas import Network
-from ..util import Stopwatch
-from .colors import ColorMap, derive_colors
-from .deadlock import DeadlockEncoding, encode_deadlock
-from .invariants import generate_invariants
-from .result import DeadlockWitness, Verdict, VerificationResult
+from .colors import ColorMap
+from .deadlock import DeadlockEncoding
+from .engine import VerificationSession
+from .result import DeadlockWitness, VerificationResult
 from .vars import VarPool
 
 __all__ = ["verify", "extract_witness", "enumerate_witnesses"]
@@ -48,48 +52,15 @@ def verify(
     max_splits:
         Branch-and-bound budget forwarded to the SMT solver.
     """
-    network.validate()
-    watch = Stopwatch()
-    with watch.phase("color derivation"):
-        colors = derive_colors(network)
-    pool = VarPool()
-    invariants = []
-    if use_invariants:
-        with watch.phase("invariant generation"):
-            invariants = generate_invariants(network, colors, pool)
-    with watch.phase("deadlock encoding"):
-        encoding = encode_deadlock(
-            network, colors, pool, rotating_precision=rotating_precision
-        )
-    solver = Solver(max_splits=max_splits)
-    with watch.phase("smt solving"):
-        for term in encoding.definitions:
-            solver.add(term)
-        for term in encoding.domain:
-            solver.add(term)
-        for invariant in invariants:
-            solver.add(invariant.term())
-        solver.add(encoding.assertion)
-        outcome = solver.check()
-
-    stats = {
-        "network": network.stats(),
-        "color_pairs": colors.total_pairs(),
-        "invariant_count": len(invariants),
-        "solver": dict(solver.stats),
-        "durations": dict(watch.durations),
-    }
-    if outcome == Result.UNSAT:
-        return VerificationResult(
-            Verdict.DEADLOCK_FREE, invariants=invariants, stats=stats
-        )
-    witness = extract_witness(network, colors, pool, solver, encoding)
-    return VerificationResult(
-        Verdict.DEADLOCK_CANDIDATE,
-        witness=witness,
-        invariants=invariants,
-        stats=stats,
+    session = VerificationSession(
+        network,
+        rotating_precision=rotating_precision,
+        max_splits=max_splits,
+        parametric_queues=False,
     )
+    if use_invariants:
+        session.add_invariants()
+    return session.verify()
 
 
 def enumerate_witnesses(
@@ -106,40 +77,12 @@ def enumerate_witnesses(
     candidate among false negatives (confirm each with
     :class:`repro.mc.Explorer`).
     """
-    from ..smt import conj, eq, neg
-
-    network.validate()
-    colors = derive_colors(network)
-    pool = VarPool()
-    solver = Solver()
-    if use_invariants:
-        for invariant in generate_invariants(network, colors, pool):
-            solver.add(invariant.term())
-    encoding = encode_deadlock(
-        network, colors, pool, rotating_precision=rotating_precision
+    session = VerificationSession(
+        network, rotating_precision=rotating_precision, parametric_queues=False
     )
-    for term in encoding.definitions:
-        solver.add(term)
-    for term in encoding.domain:
-        solver.add(term)
-    solver.add(encoding.assertion)
-
-    for _ in range(limit):
-        if solver.check() != Result.SAT:
-            return
-        model = solver.model()
-        witness = extract_witness(network, colors, pool, solver, encoding)
-        yield witness
-        shape = []
-        for automaton in network.automata():
-            for state in automaton.states:
-                var = pool.state(automaton, state)
-                shape.append(eq(var, model[var]))
-        for queue in network.queues():
-            for color in colors.of(network.channel_of(queue.i)):
-                var = pool.occupancy(queue, color)
-                shape.append(eq(var, model[var]))
-        solver.add(neg(conj(*shape)))
+    if use_invariants:
+        session.add_invariants()
+    yield from session.enumerate_witnesses(limit=limit)
 
 
 def extract_witness(

@@ -8,6 +8,16 @@ not be occupied and therefore breaks the cycle).  The search exploits this:
 exponential climb until a deadlock-free size is found, then binary search
 for the boundary.
 
+The sweep runs on one :class:`~repro.core.engine.VerificationSession` with
+*parametric* queue capacities: the block/idle encoding, the invariants and
+every clause the solver learns are shared across all probed sizes — only
+the ``cap[q] == size`` assumptions change per probe.  Set
+``incremental=False`` to fall back to one fresh :func:`verify` per size
+(the from-scratch baseline measured by ``benchmarks/bench_incremental.py``).
+The incremental path assumes ``build(size)`` changes only queue capacities,
+never network structure — true of every sweep in this repository (and of
+the paper's Figure 4); pass ``incremental=False`` for exotic builders.
+
 ``minimal_queue_size`` is deliberately defensive: monotonicity is an
 assumption about the *model family*, so the result records every probed
 size and its verdict, and ``exhaustive=True`` re-checks every size below
@@ -20,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..xmas import Network
+from .engine import VerificationSession
 from .proof import verify
 from .result import VerificationResult
 
@@ -47,6 +58,7 @@ def minimal_queue_size(
     low: int = 1,
     max_size: int = 512,
     exhaustive: bool = False,
+    incremental: bool = True,
     **verify_kwargs,
 ) -> SizingResult:
     """Smallest uniform queue size for which ``build(size)`` verifies.
@@ -62,18 +74,58 @@ def minimal_queue_size(
     exhaustive:
         Verify every size in ``[low, found)`` is deadlocked rather than
         trusting monotonicity.
+    incremental:
+        Probe all sizes through one shared :class:`VerificationSession`
+        (requires ``build`` to vary only queue capacities).  ``False``
+        re-verifies each size from scratch.
     verify_kwargs:
-        Forwarded to :func:`repro.core.proof.verify`.
+        Forwarded to :func:`repro.core.proof.verify` (``use_invariants``,
+        ``rotating_precision``, ``max_splits``).
     """
     probes: dict[int, bool] = {}
     results: dict[int, VerificationResult] = {}
 
-    def probe(size: int) -> bool:
-        if size not in probes:
-            result = verify(build(size), **verify_kwargs)
-            probes[size] = result.deadlock_free
-            results[size] = result
-        return probes[size]
+    if incremental:
+        use_invariants = verify_kwargs.pop("use_invariants", True)
+        base_network = build(low)
+        base_stats = base_network.stats()
+        base_queues = {q.name for q in base_network.queues()}
+        session = VerificationSession(
+            base_network, parametric_queues=True, **verify_kwargs
+        )
+        if use_invariants:
+            session.add_invariants()
+
+        def probe(size: int) -> bool:
+            if size not in probes:
+                # Resize to what build(size) *actually* produces: builders
+                # may pin some queues (non-uniform capacities).  Guard the
+                # capacity-only assumption: primitive/channel counts or the
+                # queue-name set changing means the builder varies structure
+                # (same-count rewires remain the caller's responsibility).
+                built = build(size)
+                if (
+                    built.stats() != base_stats
+                    or {q.name for q in built.queues()} != base_queues
+                ):
+                    raise ValueError(
+                        "build(size) changed network structure, not just "
+                        "queue capacities; rerun with incremental=False"
+                    )
+                session.resize_queues({q.name: q.size for q in built.queues()})
+                result = session.verify()
+                probes[size] = result.deadlock_free
+                results[size] = result
+            return probes[size]
+
+    else:
+
+        def probe(size: int) -> bool:
+            if size not in probes:
+                result = verify(build(size), **verify_kwargs)
+                probes[size] = result.deadlock_free
+                results[size] = result
+            return probes[size]
 
     # Exponential climb to the first deadlock-free size.
     size = low

@@ -7,6 +7,16 @@ attached for DPLL(T) integration; it is kept in sync with the trail and may
 report conflicts as lists of literals (the negation of a theory-inconsistent
 set of asserted literals).
 
+Solving is *incremental and assumption-based* (the MiniSat ``solve(assumps)``
+discipline): :meth:`Cdcl.solve` accepts a sequence of assumption literals
+that are decided, in order, below all regular decisions.  Clauses learned
+during any call are resolvents of the clause database alone — assumption
+literals enter them only negated, like decision literals — so the learned
+clauses remain valid for every later call under any assumption set.  When
+the instance is unsatisfiable *because of* the assumptions, ``final_core``
+holds an inconsistent subset of them (the failed core); a root-level
+conflict leaves the core empty and marks the solver permanently UNSAT.
+
 The solver is deliberately self-contained (plain lists, no numpy) so its
 behaviour is easy to audit — it is part of the trusted base of the
 verification results.
@@ -81,6 +91,7 @@ class Cdcl:
         self._heap: list[tuple[float, int]] = []
         self._var_inc = 1.0
         self._ok = True
+        self.final_core: list[int] = []
         self.stats = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0}
 
     # ------------------------------------------------------------------
@@ -313,6 +324,36 @@ class Cdcl:
             result.append(lit)
         return result
 
+    def _analyze_final(self, false_assumption: int) -> list[int]:
+        """An inconsistent subset of the assumptions (MiniSat analyzeFinal).
+
+        Called when ``false_assumption`` evaluates false while only
+        assumption decisions (and their propagations) are on the trail.
+        Walks the implication graph of ``¬false_assumption`` back to the
+        assumption decisions responsible; together with ``false_assumption``
+        they form a conjunction inconsistent with the clause database.
+        """
+        core = [false_assumption]
+        if self._level[abs(false_assumption)] == 0:
+            return core  # refuted by the formula alone
+        seen = {abs(false_assumption)}
+        start = self._trail_lim[0] if self._trail_lim else 0
+        for index in range(len(self._trail) - 1, start - 1, -1):
+            lit = self._trail[index]
+            var = abs(lit)
+            if var not in seen:
+                continue
+            reason_index = self._reason[var]
+            if reason_index == -1:
+                # A decision below the regular search == an assumption
+                # (covers directly contradictory assumption pairs too).
+                core.append(lit)
+            else:
+                for other in self.clauses[reason_index]:
+                    if abs(other) != var and self._level[abs(other)] > 0:
+                        seen.add(abs(other))
+        return core
+
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
@@ -337,8 +378,19 @@ class Cdcl:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def solve(self, max_conflicts: int | None = None) -> str:
-        """Run search to a verdict.  Call repeatedly after adding clauses."""
+    def solve(
+        self,
+        max_conflicts: int | None = None,
+        assumptions: Sequence[int] = (),
+    ) -> str:
+        """Run search to a verdict.  Call repeatedly after adding clauses.
+
+        ``assumptions`` are literals temporarily decided (in order) below
+        every regular decision.  An UNSAT verdict caused by them leaves an
+        inconsistent subset in :attr:`final_core`; a root-level conflict
+        leaves the core empty and the solver permanently unsatisfiable.
+        """
+        self.final_core = []
         if not self._ok:
             return UNSAT
         self._backjump(0)
@@ -383,6 +435,23 @@ class Cdcl:
                 budget = _luby(restart_count + 1) * restart_unit
                 conflicts_here = 0
                 self._backjump(0)
+                continue
+            if self.decision_level < len(assumptions):
+                # Re-assert the next pending assumption as a decision.
+                lit = assumptions[self.decision_level]
+                value = self._value(lit)
+                if value == 1:
+                    # Already implied: open an empty level so positions in
+                    # ``assumptions`` keep lining up with decision levels.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == -1:
+                    self.final_core = self._analyze_final(lit)
+                    self._backjump(0)
+                    return UNSAT
+                self.stats["decisions"] += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, -1)
                 continue
             if not self._decide():
                 if self.theory is not None:

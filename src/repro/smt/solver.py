@@ -19,6 +19,19 @@ finds a model with a fractional integer variable ``x = v``, the globally
 valid split clause ``(x ≤ ⌊v⌋) ∨ (x ≥ ⌊v⌋+1)`` is added and the search
 resumes with all learned clauses intact.
 
+The facade is *incremental*: the CNF conversion, the CDCL core, the theory
+bridge and every learned clause and branch-and-bound split persist across
+:meth:`Solver.check` calls.  Three mechanisms build on that retention:
+
+* ``check(assumptions=[...])`` decides the query under temporary
+  assumptions (arbitrary terms); after an UNSAT answer,
+  :meth:`Solver.unsat_core` names the responsible assumptions.
+* :meth:`Solver.push` / :meth:`Solver.pop` scope later assertions with
+  selector literals, so popped assertions are retracted without discarding
+  any learned clause.
+* repeated ``check`` calls on a monotonically growing assertion set reuse
+  all prior work (the classic ``add``/``check`` loop).
+
 Branch-and-bound terminates whenever every integer variable is bounded by
 the constraints (true for every formula ADVOCAT generates: occupancies lie
 in ``[0, queue.size]`` and state variables in ``[0, 1]``).  A ``max_splits``
@@ -28,12 +41,14 @@ safety valve raises :class:`SolverBudgetError` otherwise.
 from __future__ import annotations
 
 import enum
+from itertools import islice
 from math import floor
+from typing import Sequence
 
 from .cnf import CnfBuilder
 from .lia import LiaBridge
 from .sat import SAT, Cdcl
-from .terms import IntVar, Term, ge, le
+from .terms import TRUE, IntVar, Term, ge, le
 
 __all__ = ["Solver", "Result", "Model", "SolverBudgetError"]
 
@@ -48,7 +63,12 @@ class SolverBudgetError(RuntimeError):
 
 
 class Model:
-    """A satisfying assignment; index with :class:`IntVar`, BoolVar or name."""
+    """A satisfying assignment; index with :class:`IntVar`, BoolVar or name.
+
+    Indexing a variable the model knows nothing about raises ``KeyError``
+    (it would previously default to ``0``/``False``, silently masking
+    encoding bugs).
+    """
 
     def __init__(self, ints: dict[IntVar, int], bools: dict[str, bool]):
         self._ints = ints
@@ -56,13 +76,32 @@ class Model:
 
     def __getitem__(self, key: IntVar | Term | str) -> int | bool:
         if isinstance(key, IntVar):
-            return self._ints.get(key, 0)
+            try:
+                return self._ints[key]
+            except KeyError:
+                raise KeyError(
+                    f"integer variable {key.name!r} is not constrained by the "
+                    "checked formula, so the model assigns it no value"
+                ) from None
         if isinstance(key, str):
-            return self._bools.get(key, False)
-        name = getattr(key, "name", None)
-        if name is not None:
-            return self._bools.get(name, False)
-        raise KeyError(key)
+            name = key
+        else:
+            name = getattr(key, "name", None)
+            if name is None:
+                raise KeyError(key)
+        try:
+            return self._bools[name]
+        except KeyError:
+            raise KeyError(
+                f"boolean variable {name!r} does not occur in the checked "
+                "formula, so the model assigns it no value"
+            ) from None
+
+    def __contains__(self, key: IntVar | Term | str) -> bool:
+        if isinstance(key, IntVar):
+            return key in self._ints
+        name = key if isinstance(key, str) else getattr(key, "name", None)
+        return name in self._bools
 
     def int_items(self) -> dict[IntVar, int]:
         return dict(self._ints)
@@ -75,48 +114,142 @@ class Solver:
     """Incremental QF_LIA solver over the repro term language."""
 
     def __init__(self, max_splits: int = 100_000):
-        self._assertions: list[Term] = []
         self._max_splits = max_splits
+        self._cnf = CnfBuilder()
+        self._bridge = LiaBridge()
+        self._sat = Cdcl(theory=self._bridge)
+        self._flushed_clauses = 0
+        self._registered_atoms = 0
+        self._scopes: list[int] = []  # selector SAT variables, innermost last
         self._model: Model | None = None
+        self._core: list[Term] | None = None
         self.stats: dict[str, int] = {}
 
-    def add(self, term: Term) -> None:
-        """Assert ``term``; invalidates any previously extracted model."""
-        self._assertions.append(term)
+    # ------------------------------------------------------------------
+    # Assertions and scopes
+    # ------------------------------------------------------------------
+    def add(self, term: Term, scope: int | None = None) -> None:
+        """Assert ``term``; invalidates any previously extracted model.
+
+        Inside a :meth:`push` scope the assertion is guarded by the scope's
+        selector literal and is retracted by the matching :meth:`pop`.
+        ``scope`` (a token returned by :meth:`push`) targets a specific open
+        scope instead of the innermost one — required for correctness when
+        scopes are interleaved, e.g. two concurrently open witness
+        enumerations.
+        """
+        self._model = None
+        if scope is not None:
+            if scope not in self._scopes:
+                raise RuntimeError(f"scope {scope} is not open")
+            selector = scope
+        elif self._scopes:
+            selector = self._scopes[-1]
+        else:
+            self._cnf.assert_term(term)
+            return
+        if term is TRUE:
+            return
+        self._cnf.clauses.append([-selector, self._cnf.literal(term)])
+
+    def add_global(self, term: Term) -> None:
+        """Assert ``term`` at the base level, bypassing any open scope.
+
+        For facts that must survive every :meth:`pop` — e.g. sound
+        strengthenings (invariants) or guard definitions created lazily
+        while a scope happens to be open.
+        """
+        self._model = None
+        self._cnf.assert_term(term)
+
+    def push(self) -> int:
+        """Open a retraction scope for subsequent :meth:`add` calls.
+
+        Returns a scope token for targeted :meth:`add`/:meth:`pop` — scopes
+        are independent selector literals, so a specific scope can be
+        retired even when it is no longer the innermost one.
+        """
+        selector = self._cnf.new_var()
+        self._scopes.append(selector)
+        return selector
+
+    def pop(self, scope: int | None = None) -> None:
+        """Retract every assertion added under a scope.
+
+        Without ``scope``, pops the innermost open scope; with a token from
+        :meth:`push`, retires exactly that scope wherever it sits in the
+        stack.  Implemented by retiring the scope's selector literal, so
+        clauses learned while the scope was active stay in the solver (they
+        carry the negated selector and are satisfied from now on).
+        """
+        if not self._scopes:
+            raise RuntimeError("pop() without a matching push()")
+        if scope is None:
+            selector = self._scopes.pop()
+        else:
+            if scope not in self._scopes:
+                raise RuntimeError(f"scope {scope} is not open")
+            self._scopes.remove(scope)
+            selector = scope
+        self._cnf.clauses.append([-selector])
         self._model = None
 
-    def check(self) -> Result:
-        """Decide the conjunction of all added assertions."""
-        cnf = CnfBuilder()
-        for term in self._assertions:
-            cnf.assert_term(term)
-        if cnf.unsatisfiable:
+    @property
+    def scope_depth(self) -> int:
+        return len(self._scopes)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Hand new vars, atoms and clauses to the SAT core and bridge."""
+        cnf = self._cnf
+        self._sat.ensure_vars(cnf.n_vars)
+        if len(cnf.atom_of_var) > self._registered_atoms:
+            # Dicts preserve insertion order: only the unseen tail is new.
+            for satvar, atom in islice(
+                cnf.atom_of_var.items(), self._registered_atoms, None
+            ):
+                self._bridge.register_atom(satvar, atom)
+            self._registered_atoms = len(cnf.atom_of_var)
+        for clause in cnf.clauses[self._flushed_clauses:]:
+            self._sat.add_clause(clause)
+        self._flushed_clauses = len(cnf.clauses)
+
+    def check(self, assumptions: Sequence[Term] = ()) -> Result:
+        """Decide the asserted formula, optionally under ``assumptions``.
+
+        Assumptions are arbitrary terms that hold for this call only; all
+        clauses learned while answering remain valid afterwards.  On UNSAT
+        with assumptions, :meth:`unsat_core` returns a responsible subset.
+        """
+        self._model = None
+        self._core = None
+        if self._cnf.unsatisfiable:
             self.stats = {"conflicts": 0, "decisions": 0, "splits": 0}
+            self._core = []
             return Result.UNSAT
-
-        bridge = LiaBridge()
-        sat = Cdcl(theory=bridge)
-
-        def sync_new_encodings(flushed: int) -> int:
-            """Hand new vars, atoms and clauses to the SAT core and bridge."""
-            sat.ensure_vars(cnf.n_vars)
-            for satvar, atom in cnf.atom_of_var.items():
-                bridge.register_atom(satvar, atom)
-            for clause in cnf.clauses[flushed:]:
-                sat.add_clause(clause)
-            return len(cnf.clauses)
-
-        flushed = sync_new_encodings(0)
+        assumption_lits = [self._cnf.literal(term) for term in assumptions]
+        before = dict(self._sat.stats)
+        self._sync()
+        solve_assumptions = [*self._scopes, *assumption_lits]
         splits = 0
         while True:
-            verdict = sat.solve()
+            verdict = self._sat.solve(assumptions=solve_assumptions)
             if verdict != SAT:
-                self.stats = dict(sat.stats, splits=splits)
+                self._finish_stats(before, splits)
+                core_lits = set(self._sat.final_core)
+                seen: set[int] = set()
+                self._core = []
+                for term, lit in zip(assumptions, assumption_lits):
+                    if lit in core_lits and term.uid not in seen:
+                        seen.add(term.uid)
+                        self._core.append(term)
                 return Result.UNSAT
-            fractional = bridge.fractional_var()
+            fractional = self._bridge.fractional_var()
             if fractional is None:
-                self._model = self._extract_model(cnf, bridge, sat)
-                self.stats = dict(sat.stats, splits=splits)
+                self._model = self._extract_model()
+                self._finish_stats(before, splits)
                 return Result.SAT
             splits += 1
             if splits > self._max_splits:
@@ -126,24 +259,56 @@ class Solver:
                 )
             var, value = fractional
             cut = floor(value)
-            split_lits = [cnf.literal(le(var, cut)), cnf.literal(ge(var, cut + 1))]
-            flushed = sync_new_encodings(flushed)
-            sat.add_clause(split_lits)
+            split_lits = [
+                self._cnf.literal(le(var, cut)),
+                self._cnf.literal(ge(var, cut + 1)),
+            ]
+            self._sync()
+            self._sat.add_clause(split_lits)
 
-    def _extract_model(self, cnf: CnfBuilder, bridge: LiaBridge, sat: Cdcl) -> Model:
+    def _finish_stats(self, before: dict[str, int], splits: int) -> None:
+        self.stats = {
+            key: value - before.get(key, 0) for key, value in self._sat.stats.items()
+        }
+        self.stats["splits"] = splits
+
+    def _extract_model(self) -> Model:
         ints: dict[IntVar, int] = {}
-        for var in bridge.known_int_vars():
-            value = bridge.rational_value(var)
+        for var in self._bridge.known_int_vars():
+            value = self._bridge.rational_value(var)
             assert value.denominator == 1, "model extraction on fractional value"
             ints[var] = int(value)
         bools = {
-            name: sat.model_value(satvar)
-            for name, satvar in cnf.var_of_boolname.items()
+            name: self._sat.model_value(satvar)
+            for name, satvar in self._cnf.var_of_boolname.items()
         }
         return Model(ints, bools)
 
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
     def model(self) -> Model:
         """The model of the last SAT :meth:`check`."""
         if self._model is None:
             raise RuntimeError("model() requires a prior SAT check()")
         return self._model
+
+    def unsat_core(self) -> list[Term]:
+        """The assumptions responsible for the last UNSAT :meth:`check`.
+
+        A subset of the assumptions passed to that call, in passing order.
+        Empty when the assumptions are not needed for the contradiction —
+        i.e. the asserted formula (including any assertions in still-open
+        :meth:`push` scopes, whose selectors are filtered from the core)
+        is unsatisfiable by itself.
+        """
+        if self._core is None:
+            raise RuntimeError("unsat_core() requires a prior UNSAT check()")
+        return list(self._core)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by benchmarks and tests)
+    # ------------------------------------------------------------------
+    def clause_count(self) -> int:
+        """Clauses in the CDCL core, including learned ones."""
+        return len(self._sat.clauses)

@@ -377,30 +377,33 @@ def neg(term: Term) -> Term:
 
 
 def _flatten(cls: type, terms: Iterable[Term], absorbing: Term, neutral: Term) -> Term:
-    seen: dict[int, Term] = {}
+    # Fully flatten same-operator nesting (explicit stack, no recursion):
+    # conj(conj(conj(a, b), c), d) and conj(a, b, c, d) are the *same*
+    # interned node.  Without this, incrementally combined encodings of
+    # large meshes degenerate into deeply nested binary trees that cost one
+    # Tseitin gate (and three clauses) per internal node.
+    seen: set[int] = set()
     flat: list[Term] = []
-    for term in terms:
+    stack: list[Term] = list(terms)
+    stack.reverse()
+    while stack:
+        term = stack.pop()
         if term is absorbing:
             return absorbing
         if term is neutral:
             continue
         if isinstance(term, cls):
             children = term.args  # type: ignore[attr-defined]
-        else:
-            children = (term,)
-        for child in children:
-            if child is absorbing:
-                return absorbing
-            if child is neutral:
-                continue
-            if child.uid in seen:
-                continue
-            # x & !x == false ; x | !x == true
-            complement = neg(child)
-            if complement.uid in seen:
-                return absorbing
-            seen[child.uid] = child
-            flat.append(child)
+            stack.extend(reversed(children))
+            continue
+        if term.uid in seen:
+            continue
+        # x & !x == false ; x | !x == true
+        complement = neg(term)
+        if complement.uid in seen:
+            return absorbing
+        seen.add(term.uid)
+        flat.append(term)
     if not flat:
         return neutral
     if len(flat) == 1:

@@ -1,0 +1,262 @@
+"""VerificationSession: incremental verdicts must equal from-scratch ones.
+
+The fresh baseline deliberately bypasses the session machinery: it builds a
+new encoding and a new :class:`~repro.smt.Solver` per query, asserts
+everything, and checks once — the seed implementation's behavior.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    VarPool,
+    VerificationSession,
+    derive_colors,
+    encode_deadlock,
+    generate_invariants,
+    verify,
+)
+from repro.core.proof import enumerate_witnesses
+from repro.netlib import running_example
+from repro.smt import Result, Solver
+
+
+def fresh_verdict(network, use_invariants=False, case_key=None):
+    """Seed-style one-shot check; ``case_key=(kind, subject, color)``
+    restricts the assertion to a single disjunct."""
+    colors = derive_colors(network)
+    pool = VarPool()
+    encoding = encode_deadlock(network, colors, pool)
+    solver = Solver()
+    if use_invariants:
+        for invariant in generate_invariants(network, colors, pool):
+            solver.add(invariant.term())
+    for term in encoding.definitions:
+        solver.add(term)
+    for term in encoding.domain:
+        solver.add(term)
+    if case_key is None:
+        solver.add(encoding.assertion)
+    else:
+        solver.add(encoding.case_of(*case_key).term)
+    return solver.check() == Result.UNSAT
+
+
+def session_invariants_hold(session):
+    """Every invariant evaluates true in the latest SAT model."""
+    assignment = session.solver.model().int_items()
+    return all(inv.evaluate(assignment) for inv in session.invariants)
+
+
+# ---------------------------------------------------------------------------
+# Directed equivalence checks
+# ---------------------------------------------------------------------------
+
+
+def test_session_matches_one_shot_verify():
+    for size in (1, 2, 3):
+        for parametric in (False, True):
+            network = running_example(queue_size=size).network
+            session = VerificationSession(network, parametric_queues=parametric)
+            without = session.verify()
+            assert without.deadlock_free == verify(
+                network, use_invariants=False
+            ).deadlock_free
+            session.add_invariants()
+            with_inv = session.verify()
+            assert with_inv.deadlock_free == verify(
+                network, use_invariants=True
+            ).deadlock_free
+
+
+def test_verify_channel_agrees_with_restricted_assertion():
+    network = running_example().network
+    session = VerificationSession(network)
+    case_frees = []
+    for case in session.encoding.cases:
+        result = session.verify_case(case)
+        expected = fresh_verdict(
+            network, case_key=(case.kind, case.subject, case.color)
+        )
+        assert result.deadlock_free == expected, case.label
+        case_frees.append(result.deadlock_free)
+    # The full check fires iff some disjunct fires.
+    assert session.verify().deadlock_free == all(case_frees)
+
+
+def test_verify_channel_by_name():
+    network = running_example().network
+    session = VerificationSession(network)
+    result = session.verify_channel("q0", "req")
+    assert not result.deadlock_free
+    assert result.witness is not None
+
+
+def test_resize_queues_matches_rebuilt_network():
+    session = VerificationSession(
+        running_example(queue_size=1).network, parametric_queues=True
+    )
+    session.add_invariants()
+    for size in (1, 2, 3, 4, 2, 1):  # revisits exercise guard reuse
+        session.resize_queues(size)
+        incremental = session.verify()
+        fresh = verify(running_example(queue_size=size).network)
+        assert incremental.deadlock_free == fresh.deadlock_free, f"size {size}"
+        if not incremental.deadlock_free:
+            assert session_invariants_hold(session)
+
+
+def test_resize_queues_per_queue_mapping():
+    session = VerificationSession(
+        running_example(queue_size=2).network, parametric_queues=True
+    )
+    session.resize_queues({"q0": 3})
+    assert session.queue_sizes == {"q0": 3, "q1": 2}
+    assert not session.verify().deadlock_free  # block/idle only: candidates
+
+
+def test_resize_requires_parametric():
+    session = VerificationSession(
+        running_example().network, parametric_queues=False
+    )
+    try:
+        session.resize_queues(3)
+    except RuntimeError:
+        pass
+    else:
+        raise AssertionError("resize on a baked encoding must fail")
+
+
+def test_enumeration_is_scoped_and_session_reusable():
+    network = running_example().network
+    session = VerificationSession(network)
+    first = list(session.enumerate_witnesses(limit=16))
+    wrapper = list(enumerate_witnesses(network, limit=16, use_invariants=False))
+    assert len(first) == len(wrapper)
+    assert len(first) >= 2  # the paper's two candidate shapes
+    # Blocking clauses were popped: enumeration restarts from scratch ...
+    second = list(session.enumerate_witnesses(limit=16))
+    assert len(second) == len(first)
+    # ... and the plain query still reports a candidate.
+    assert not session.verify().deadlock_free
+    session.add_invariants()
+    assert session.verify().deadlock_free
+    assert list(session.enumerate_witnesses(limit=4)) == []
+
+
+def test_queries_mid_enumeration_stay_sound():
+    # A suspended enumeration's blocking clauses must be invisible to
+    # other session queries (they are guarded by the generator's own
+    # assumption literal).
+    session = VerificationSession(running_example().network)
+    baseline = [
+        session.verify_case(case).deadlock_free
+        for case in session.encoding.cases
+    ]
+    gen = session.enumerate_witnesses(limit=10)
+    next(gen)
+    next(gen)  # at least one blocking clause is now in the solver
+    mid = [
+        session.verify_case(case).deadlock_free
+        for case in session.encoding.cases
+    ]
+    assert mid == baseline
+    assert not session.verify().deadlock_free
+    gen.close()
+
+
+def test_interleaved_enumerations_do_not_corrupt_scopes():
+    session = VerificationSession(running_example().network)
+    first = list(session.enumerate_witnesses(limit=8))
+    gen_a = session.enumerate_witnesses(limit=8)
+    gen_b = session.enumerate_witnesses(limit=8)
+    next(gen_a)
+    seen_b = [next(gen_b)]
+    gen_a.close()  # must retire gen_a's scope, not gen_b's
+    seen_b.extend(gen_b)
+    assert len(seen_b) == len(first)  # gen_b's blocking clauses survived
+    assert session.solver.scope_depth == 0
+    assert not session.verify().deadlock_free  # base formula untouched
+
+
+def test_sizing_preserves_non_uniform_builders():
+    from repro.core import minimal_queue_size
+
+    def build(size):
+        example = running_example(queue_size=size)
+        example.q_ack.size = 3  # pinned: builder is capacity-only but not uniform
+        return example.network
+
+    incremental = minimal_queue_size(build, max_size=8)
+    scratch = minimal_queue_size(build, max_size=8, incremental=False)
+    assert incremental.minimal_size == scratch.minimal_size
+    assert incremental.probes == scratch.probes
+
+
+def test_witnesses_respect_queue_domains():
+    session = VerificationSession(
+        running_example(queue_size=2).network, parametric_queues=True
+    )
+    for witness in session.enumerate_witnesses(limit=8):
+        for queue in session.network.queues():
+            held = sum(witness.queue_contents.get(queue.name, {}).values())
+            assert 0 <= held <= session.queue_sizes[queue.name]
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential test: any query order, any assumption order
+# ---------------------------------------------------------------------------
+
+operations = st.lists(
+    st.one_of(
+        st.just(("verify",)),
+        st.just(("invariants",)),
+        st.tuples(st.just("resize"), st.integers(min_value=1, max_value=4)),
+        st.tuples(st.just("case"), st.integers(min_value=0, max_value=100)),
+        st.tuples(st.just("enumerate"), st.integers(min_value=1, max_value=4)),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=25, deadline=None)
+def test_session_equals_fresh_solver_across_op_orders(ops):
+    session = VerificationSession(
+        running_example(queue_size=2).network, parametric_queues=True
+    )
+    size = 2
+    invariants_on = False
+
+    for op in ops:
+        if op[0] == "invariants":
+            session.add_invariants()
+            invariants_on = True
+        elif op[0] == "resize":
+            size = op[1]
+            session.resize_queues(size)
+        elif op[0] == "verify":
+            network = running_example(queue_size=size).network
+            expected = fresh_verdict(network, use_invariants=invariants_on)
+            result = session.verify()
+            assert result.deadlock_free == expected
+            if not result.deadlock_free:
+                assert result.witness is not None
+                assert session_invariants_hold(session)
+        elif op[0] == "case":
+            case = session.encoding.cases[op[1] % len(session.encoding.cases)]
+            network = running_example(queue_size=size).network
+            expected = fresh_verdict(
+                network,
+                use_invariants=invariants_on,
+                case_key=(case.kind, case.subject, case.color),
+            )
+            assert session.verify_case(case).deadlock_free == expected
+        elif op[0] == "enumerate":
+            witnesses = list(session.enumerate_witnesses(limit=op[1]))
+            network = running_example(queue_size=size).network
+            if fresh_verdict(network, use_invariants=invariants_on):
+                assert witnesses == []
+            else:
+                assert witnesses
