@@ -6,24 +6,40 @@ deadlock-free XY mesh deadlocks: the directory waits for the owner's putX,
 which cannot reach it past an ejection queue full of other caches' stalled
 requests.  With queue size 3 the same system verifies deadlock-free.
 
-One parametric ``VerificationSession`` carries the whole script: it finds
-the size-2 candidates, a replayed explicit-state trace *confirms* one is
-reachable, and ``resize_queues(3)`` re-proves the system deadlock-free
-without rebuilding the encoding.
+One parametric session carries the whole script: it finds the size-2
+candidates, a replayed explicit-state trace *confirms* one is reachable,
+and ``resize_queues(3)`` re-proves the system deadlock-free without
+rebuilding the encoding.  With ``--jobs N`` the queries are answered by a
+worker pool (``ParallelVerificationSession``) over the same encoding —
+witness enumeration stays on the pool's local session, everything else
+fans out.
 
-Run:  python examples/mesh_deadlock.py
+Run:  python examples/mesh_deadlock.py [--jobs 4]
 """
 
-from repro import VerificationSession
+import argparse
+
+from repro import ParallelVerificationSession, VerificationSession
 from repro.mc import Explorer
 from repro.protocols import abstract_mi_mesh
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="answer queries on a pool of N workers")
+    args = parser.parse_args()
+
     # --- queue size 2: cross-layer deadlock --------------------------------
     inst = abstract_mi_mesh(2, 2, queue_size=2)
     print(f"2x2 mesh, queue size 2: {inst.network.stats()}")
-    session = VerificationSession(inst.network, parametric_queues=True)
+    if args.jobs > 1:
+        session = ParallelVerificationSession(
+            inst.network, jobs=args.jobs, parametric_queues=True
+        )
+        print(f"(parallel session, {args.jobs} workers)")
+    else:
+        session = VerificationSession(inst.network, parametric_queues=True)
     session.add_invariants()
     result = session.verify()
     print(f"ADVOCAT verdict: {result.verdict.value}")
@@ -62,6 +78,8 @@ def main() -> None:
         f"explicit-state cross-check: exhausted={exploration.exhausted}, "
         f"deadlock={exploration.found_deadlock}"
     )
+    if args.jobs > 1:
+        session.close()
     print("\nqueue size 2 deadlocks, queue size 3 is free — matches the paper.")
 
 

@@ -10,12 +10,18 @@ packets that can stall in front of the directory — which grows with the
 cache count but not with the directory position (see EXPERIMENTS.md for
 the comparison against the paper's per-direction numbers).
 
-Run:  python examples/queue_sizing.py [--max-mesh 3]
+With ``--jobs N`` the binary search is replaced by a *sharded sweep*:
+every candidate size up to ``--max-size`` is probed, striped across N
+pool workers that each hold one rehydrated parametric session (see
+``repro.core.sweep_queue_sizes``) — the full Figure-4 curve instead of
+just its boundary.
+
+Run:  python examples/queue_sizing.py [--max-mesh 3] [--jobs 4]
 """
 
 import argparse
 
-from repro.core import minimal_queue_size
+from repro.core import minimal_queue_size, sweep_queue_sizes
 from repro.protocols import abstract_mi_mesh
 
 
@@ -32,16 +38,24 @@ def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--max-mesh", type=int, default=3,
                         help="largest n for the n x n sweep (default 3)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="shard a full size sweep over N pool workers")
+    parser.add_argument("--max-size", type=int, default=6,
+                        help="largest queue size probed with --jobs (default 6)")
     args = parser.parse_args()
 
     for n in range(2, args.max_mesh + 1):
         print(f"\n=== {n}x{n} mesh ===")
         for position in octant_positions(n, n):
-            sizing = minimal_queue_size(
-                lambda q, p=position: abstract_mi_mesh(
-                    n, n, queue_size=q, directory_node=p
-                ).network
-            )
+            build = lambda q, p=position: abstract_mi_mesh(  # noqa: E731
+                n, n, queue_size=q, directory_node=p
+            ).network
+            if args.jobs > 1:
+                sizing = sweep_queue_sizes(
+                    build, range(1, args.max_size + 1), jobs=args.jobs
+                )
+            else:
+                sizing = minimal_queue_size(build)
             print(f"  directory at {position}: minimal queue size = "
                   f"{sizing.minimal_size}   (probes: "
                   + ", ".join(

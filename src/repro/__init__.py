@@ -19,6 +19,8 @@ the explicit-state model checker that confirms deadlock candidates.
 from .core import (
     DeadlockWitness,
     Invariant,
+    ParallelVerificationSession,
+    SessionSpec,
     Verdict,
     VerificationResult,
     VerificationSession,
@@ -26,14 +28,18 @@ from .core import (
     encode_deadlock,
     generate_invariants,
     minimal_queue_size,
+    sweep_queue_sizes,
     verify,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "SessionSpec",
     "VerificationSession",
+    "ParallelVerificationSession",
     "verify",
+    "sweep_queue_sizes",
     "derive_colors",
     "generate_invariants",
     "encode_deadlock",

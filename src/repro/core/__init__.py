@@ -2,28 +2,40 @@
 
 Public entry points:
 
-* :class:`VerificationSession` — incremental engine: build the encoding
-  once, answer many queries (full check, per-channel checks, witness
+* :class:`SessionSpec` — the build phase: network → colors → encoding
+  (→ invariants), computed once and shared by any number of sessions.
+* :class:`VerificationSession` — incremental engine: load a spec into one
+  solver, answer many queries (full check, per-channel checks, witness
   enumeration, queue resizing) by assumption.
+* :class:`ParallelVerificationSession` — same query API, answered by a
+  worker pool over serialized session snapshots.
 * :func:`verify` — one-shot full pipeline (colors → invariants →
   block/idle → SMT), a thin wrapper over a throwaway session.
 * :func:`derive_colors` — the T-derivation (Section 3).
 * :func:`generate_invariants` — cross-layer invariants (Section 4).
 * :func:`encode_deadlock` — block/idle equations + deadlock assertion.
 * :func:`minimal_queue_size` — Figure-4 style queue sizing on one session.
+* :func:`sweep_queue_sizes` — the Figure-4 curve, sharded over workers.
 """
 
 from .colors import ColorDerivationError, ColorMap, derive_colors
 from .deadlock import DeadlockCase, DeadlockEncoding, encode_deadlock
-from .engine import VerificationSession
+from .engine import SessionSnapshot, SessionSpec, VerificationSession
 from .invariants import build_flow_rows, generate_invariants
+from .parallel import ParallelVerificationSession, WorkerSession, default_jobs
 from .proof import enumerate_witnesses, verify
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
-from .sizing import SizingResult, minimal_queue_size
+from .sizing import SizingResult, minimal_queue_size, sweep_queue_sizes
 from .vars import VarPool, color_label
 
 __all__ = [
+    "SessionSpec",
+    "SessionSnapshot",
     "VerificationSession",
+    "ParallelVerificationSession",
+    "WorkerSession",
+    "default_jobs",
+    "sweep_queue_sizes",
     "verify",
     "enumerate_witnesses",
     "derive_colors",

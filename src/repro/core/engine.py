@@ -4,26 +4,39 @@ ADVOCAT's workflow is inherently *many queries over one model*: the
 block/idle equation system is fixed per network, but it is re-solved under
 different assertions — the full deadlock check, per-channel candidate
 queries, invariant-strengthened re-checks, witness enumeration, and the
-Figure-4 queue-size sweep.  :class:`VerificationSession` builds the colors,
-invariants and encoding **once**, loads them into one incremental
-:class:`~repro.smt.Solver`, and answers every query by *assumption*:
+Figure-4 queue-size sweep.  The work splits into two phases:
 
-* each disjunct of the deadlock assertion carries a guard literal
-  (:class:`~repro.core.deadlock.DeadlockCase`), so ``verify_channel`` asks
-  about a single queue/color by assuming that one guard;
-* ``verify`` assumes the master guard ("some disjunct fires");
-* queue capacities are (by default) symbolic ``cap[q]`` variables pinned by
-  assumption, so ``resize_queues`` re-probes a different size without
-  rebuilding anything;
-* ``enumerate_witnesses`` guards its blocking clauses behind a fresh
-  per-enumeration assumption literal (assumed only by its own checks and
-  retired when the generator finishes), so enumeration leaves the session
-  reusable and never influences concurrent queries.
+* **build** — :class:`SessionSpec` derives the colors, the deadlock
+  encoding (with guard-tagged disjuncts and, optionally, parametric
+  ``cap[q]`` capacities) and, on demand, the cross-layer invariants.  All
+  of it is computed once per network and shared by every session over it.
+* **query** — :class:`VerificationSession` loads a spec into one
+  incremental :class:`~repro.smt.Solver` and answers every query by
+  *assumption*:
+
+  - each disjunct of the deadlock assertion carries a guard literal
+    (:class:`~repro.core.deadlock.DeadlockCase`), so ``verify_channel``
+    asks about a single queue/color by assuming that one guard;
+  - ``verify`` assumes the master guard ("some disjunct fires");
+  - queue capacities are (by default) symbolic ``cap[q]`` variables pinned
+    by assumption, so ``resize_queues`` re-probes a different size without
+    rebuilding anything;
+  - ``enumerate_witnesses`` guards its blocking clauses behind a fresh
+    per-enumeration assumption literal (assumed only by its own checks and
+    retired when the generator finishes), so enumeration leaves the
+    session reusable and never influences concurrent queries.
 
 All clauses the CDCL core learns while answering one query — including
 branch-and-bound splits and theory-conflict clauses — remain in force for
 every later query, which is where the severalfold speed-up of the sweep
 benchmarks comes from (see ``benchmarks/bench_incremental.py``).
+
+The split is what makes parallel orchestration possible:
+:meth:`SessionSpec.snapshot` flattens the built encoding into a
+pickle-safe :class:`SessionSnapshot` (CNF image + guard names + witness
+recipe), from which worker processes rehydrate query sessions without
+re-deriving colors, invariants or the encoding — see
+:mod:`repro.core.parallel`.
 
 :func:`repro.core.proof.verify` and friends are thin wrappers over a
 throwaway session, so the one-shot API is unchanged.
@@ -31,10 +44,25 @@ throwaway session, so the one-shot API is unchanged.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Hashable, Iterator, Mapping
 
-from ..smt import Result, Solver, Term, boolvar, conj, eq, ge, implies, intvar, neg
+from ..smt import (
+    IntVar,
+    Result,
+    Solver,
+    SolverSnapshot,
+    Term,
+    boolvar,
+    conj,
+    eq,
+    ge,
+    implies,
+    intvar,
+    neg,
+    snapshot_solver,
+)
 from ..util import Stopwatch
 from ..xmas import Network, Queue, Source
 from .colors import derive_colors
@@ -43,13 +71,74 @@ from .invariants import generate_invariants
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
 from .vars import VarPool
 
-__all__ = ["VerificationSession"]
+__all__ = ["SessionSpec", "SessionSnapshot", "VerificationSession"]
 
 Color = Hashable
 
+ANY_CASE_LABEL = "deadlock assertion (any case)"
 
-class VerificationSession:
-    """Incremental, assumption-based verification of one xMAS network.
+
+def resolve_resize(
+    current: Mapping[str, int], sizes: int | Mapping[str, int], parametric: bool
+) -> dict[str, int]:
+    """Validate a ``resize_queues`` request against the current size map.
+
+    Returns the full updated map.  Shared by the sequential and parallel
+    sessions so both reject the same inputs identically.
+    """
+    if not parametric:
+        raise RuntimeError(
+            "resize_queues() requires parametric_queues=True "
+            "(queue sizes were baked into the encoding)"
+        )
+    if isinstance(sizes, int):
+        update = {name: sizes for name in current}
+    else:
+        unknown = set(sizes) - set(current)
+        if unknown:
+            raise KeyError(f"unknown queues: {sorted(unknown)}")
+        update = dict(sizes)
+    for name, size in update.items():
+        if size < 0:
+            raise ValueError(f"queue {name!r}: negative capacity {size}")
+    merged = dict(current)
+    merged.update(update)
+    return merged
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Pickle-safe image of a built verification session.
+
+    Everything a worker needs to answer guard-literal queries without the
+    build phase: the solver's CNF image, the guard-variable *names* of the
+    deadlock cases and the master disjunction, the ``cap[q]`` variable
+    keys for minting capacity pins, and the witness recipe (which integer
+    variables / block booleans to read out of a SAT model).  All plain
+    ints and strings — see :mod:`repro.smt.serialize` for why terms
+    themselves cannot cross a process boundary.
+    """
+
+    solver: SolverSnapshot
+    case_guard_names: tuple[str, ...]  # aligned with encoding.cases
+    any_guard_name: str
+    capacity_uids: tuple[tuple[str, int], ...]  # (queue name, cap var uid)
+    witness_int_uids: tuple[int, ...]
+    witness_bool_names: tuple[str, ...]
+    default_sizes: tuple[tuple[str, int], ...]
+    parametric: bool
+    # How many invariants are baked into the solver image — reporting
+    # metadata for consumers that only hold the snapshot.
+    invariant_count: int
+
+
+class SessionSpec:
+    """The build phase: network → colors → encoding (→ invariants), once.
+
+    A spec is immutable except for lazy invariant generation and carries
+    no solver; any number of :class:`VerificationSession` (or parallel
+    worker sessions, via :meth:`snapshot`) can be opened over one spec
+    without re-deriving anything.
 
     Parameters
     ----------
@@ -58,13 +147,142 @@ class VerificationSession:
     rotating_precision:
         Use the stronger block rule for ``rotating`` queues (see
         :mod:`repro.core.deadlock`).
+    parametric_queues:
+        Encode queue capacities as symbolic ``cap[q]`` variables to be
+        pinned by assumption.  With ``False`` the literal ``queue.size``
+        values are baked in, reproducing the one-shot encoding exactly.
+    watch:
+        Optional :class:`~repro.util.Stopwatch` to record the build
+        phases into (a session building its own spec passes its own).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rotating_precision: bool = True,
+        parametric_queues: bool = True,
+        watch: Stopwatch | None = None,
+    ):
+        network.validate()
+        self.network = network
+        self.rotating_precision = rotating_precision
+        self.parametric = parametric_queues
+        watch = watch or Stopwatch()
+        with watch.phase("color derivation"):
+            self.colors = derive_colors(network)
+        self.pool = VarPool()
+        self.initial_sizes: dict[str, int] = {
+            q.name: q.size for q in network.queues()
+        }
+        self.capacities: dict[str, IntVar] = (
+            {q.name: intvar(f"cap[{q.name}]") for q in network.queues()}
+            if parametric_queues
+            else {}
+        )
+        self._invariants: list[Invariant] | None = None
+        with watch.phase("deadlock encoding"):
+            self.encoding = encode_deadlock(
+                network,
+                self.colors,
+                self.pool,
+                rotating_precision=rotating_precision,
+                capacities=self.capacities if parametric_queues else None,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def invariants(self) -> list[Invariant] | None:
+        """The generated invariants, or ``None`` before generation."""
+        return None if self._invariants is None else list(self._invariants)
+
+    def generate_invariants(self, watch: Stopwatch | None = None) -> list[Invariant]:
+        """Derive the cross-layer invariants (idempotent)."""
+        if self._invariants is None:
+            watch = watch or Stopwatch()
+            with watch.phase("invariant generation"):
+                self._invariants = generate_invariants(
+                    self.network, self.colors, self.pool
+                )
+        return list(self._invariants)
+
+    # ------------------------------------------------------------------
+    def base_terms(self) -> Iterator[Term]:
+        """Every base-level assertion of the encoding, in load order."""
+        yield from self.encoding.definitions
+        yield from self.encoding.domain
+        yield from self.encoding.guard_terms()
+        for capacity in self.capacities.values():
+            yield ge(capacity, 0)
+
+    def load_solver(self, max_splits: int = 100_000) -> Solver:
+        """A fresh solver with the full encoding (and any generated
+        invariants) asserted."""
+        solver = Solver(max_splits=max_splits)
+        for term in self.base_terms():
+            solver.add(term)
+        if self._invariants is not None:
+            for invariant in self._invariants:
+                solver.add_global(invariant.term())
+        return solver
+
+    # ------------------------------------------------------------------
+    def _witness_recipe(self) -> tuple[tuple[int, ...], tuple[str, ...]]:
+        """(int var uids, block bool names) a witness extraction reads."""
+        int_uids = [var.uid for _, var in self.pool.state_items()]
+        int_uids.extend(var.uid for _, var in self.pool.occupancy_items())
+        bool_names: list[str] = []
+        for queue in self.network.queues():
+            out_channel = self.network.channel_of(queue.o)
+            for color in self.colors.of(out_channel):
+                bool_names.append(self.pool.block(out_channel, color).name)
+        for source in self.network.sources():
+            out_channel = self.network.channel_of(source.o)
+            for color in source.colors:
+                bool_names.append(self.pool.block(out_channel, color).name)
+        return tuple(int_uids), tuple(bool_names)
+
+    def snapshot(self, max_splits: int = 100_000) -> SessionSnapshot:
+        """Flatten the built encoding into a :class:`SessionSnapshot`.
+
+        Loads a throwaway solver (cheap relative to the build phase) and
+        captures its CNF image together with the guard-name tables and
+        the witness recipe.  Invariants are included iff they have been
+        generated on this spec.
+        """
+        witness_ints, witness_bools = self._witness_recipe()
+        return SessionSnapshot(
+            solver=snapshot_solver(self.load_solver(max_splits)),
+            case_guard_names=tuple(
+                case.guard.name for case in self.encoding.cases
+            ),
+            any_guard_name=self.encoding.any_guard.name,
+            capacity_uids=tuple(
+                (name, var.uid) for name, var in self.capacities.items()
+            ),
+            witness_int_uids=witness_ints,
+            witness_bool_names=witness_bools,
+            default_sizes=tuple(self.initial_sizes.items()),
+            parametric=self.parametric,
+            invariant_count=len(self._invariants or ()),
+        )
+
+
+class VerificationSession:
+    """Incremental, assumption-based verification of one xMAS network.
+
+    Parameters
+    ----------
+    network:
+        The network to verify; ignored when ``spec`` is given.
+    rotating_precision, parametric_queues:
+        Build options, forwarded to :class:`SessionSpec` (ignored when
+        ``spec`` is given — the spec already fixed them).
     max_splits:
         Branch-and-bound budget forwarded to the SMT solver, per query.
-    parametric_queues:
-        Encode queue capacities as symbolic ``cap[q]`` variables pinned by
-        assumption (required by :meth:`resize_queues`).  With ``False`` the
-        literal ``queue.size`` values are baked in, reproducing the
-        one-shot encoding exactly.
+    spec:
+        A prebuilt :class:`SessionSpec` to open a query session over
+        without repeating the build phase.  If the spec already has
+        invariants generated, they are loaded immediately.
 
     Invariants are *not* generated up front; call :meth:`add_invariants`
     to derive and conjoin them (idempotent).  This keeps the plain
@@ -73,45 +291,42 @@ class VerificationSession:
 
     def __init__(
         self,
-        network: Network,
+        network: Network | None = None,
         rotating_precision: bool = True,
         max_splits: int = 100_000,
         parametric_queues: bool = True,
+        spec: SessionSpec | None = None,
     ):
-        network.validate()
-        self.network = network
         self.watch = Stopwatch()
-        with self.watch.phase("color derivation"):
-            self.colors = derive_colors(network)
-        self.pool = VarPool()
-        self.solver = Solver(max_splits=max_splits)
-        self._parametric = parametric_queues
-        self._sizes: dict[str, int] = {q.name: q.size for q in network.queues()}
-        self._capacities = (
-            {q.name: intvar(f"cap[{q.name}]") for q in network.queues()}
-            if parametric_queues
-            else {}
-        )
+        if spec is None:
+            if network is None:
+                raise TypeError("VerificationSession needs a network or a spec")
+            spec = SessionSpec(
+                network,
+                rotating_precision=rotating_precision,
+                parametric_queues=parametric_queues,
+                watch=self.watch,
+            )
+        self.spec = spec
+        self.network = spec.network
+        self.colors = spec.colors
+        self.pool = spec.pool
+        self.encoding = spec.encoding
+        self._parametric = spec.parametric
+        self._sizes: dict[str, int] = dict(spec.initial_sizes)
+        self._capacities = spec.capacities
         self._size_guards: dict[tuple[str, int], Term] = {}
+        self._guard_labels: dict[int, str] = {
+            case.guard.uid: case.label for case in self.encoding.cases
+        }
+        self._guard_labels[self.encoding.any_guard.uid] = ANY_CASE_LABEL
         self._invariants: list[Invariant] = []
         self._invariants_added = False
-        with self.watch.phase("deadlock encoding"):
-            self.encoding = encode_deadlock(
-                network,
-                self.colors,
-                self.pool,
-                rotating_precision=rotating_precision,
-                capacities=self._capacities if parametric_queues else None,
-            )
         with self.watch.phase("smt solving"):
-            for term in self.encoding.definitions:
-                self.solver.add(term)
-            for term in self.encoding.domain:
-                self.solver.add(term)
-            for term in self.encoding.guard_terms():
-                self.solver.add(term)
-            for capacity in self._capacities.values():
-                self.solver.add(ge(capacity, 0))
+            self.solver = spec.load_solver(max_splits=max_splits)
+        if spec.invariants is not None:
+            self._invariants = spec.invariants
+            self._invariants_added = True
 
     # ------------------------------------------------------------------
     # Configuration
@@ -123,10 +338,7 @@ class VerificationSession:
         a permanent, sound strengthening — there is nothing to retract.
         """
         if not self._invariants_added:
-            with self.watch.phase("invariant generation"):
-                self._invariants = generate_invariants(
-                    self.network, self.colors, self.pool
-                )
+            self._invariants = self.spec.generate_invariants(watch=self.watch)
             with self.watch.phase("smt solving"):
                 for invariant in self._invariants:
                     self.solver.add_global(invariant.term())
@@ -146,22 +358,7 @@ class VerificationSession:
         pair lazily gets a guard literal implying ``cap[q] == size``, and
         queries assume the guards of the current sizes.
         """
-        if not self._parametric:
-            raise RuntimeError(
-                "resize_queues() requires parametric_queues=True "
-                "(queue sizes were baked into the encoding)"
-            )
-        if isinstance(sizes, int):
-            update = {name: sizes for name in self._sizes}
-        else:
-            unknown = set(sizes) - set(self._sizes)
-            if unknown:
-                raise KeyError(f"unknown queues: {sorted(unknown)}")
-            update = dict(sizes)
-        for name, size in update.items():
-            if size < 0:
-                raise ValueError(f"queue {name!r}: negative capacity {size}")
-        self._sizes.update(update)
+        self._sizes = resolve_resize(self._sizes, sizes, self._parametric)
 
     @property
     def queue_sizes(self) -> dict[str, int]:
@@ -181,12 +378,19 @@ class VerificationSession:
                     implies(guard, eq(self._capacities[name], size))
                 )
                 self._size_guards[(name, size)] = guard
+                self._guard_labels[guard.uid] = guard.name
             assumptions.append(guard)
         return assumptions
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _label_of(self, term: Term) -> str:
+        label = self._guard_labels.get(term.uid)
+        if label is not None:
+            return label
+        return getattr(term, "name", repr(term))
+
     def _run(self, assumptions: list[Term]) -> VerificationResult:
         solve_start = perf_counter()
         with self.watch.phase("smt solving"):
@@ -205,13 +409,21 @@ class VerificationSession:
         if self._parametric:
             stats["queue_sizes"] = dict(self._sizes)
         if outcome == Result.UNSAT:
+            # Which assumed guards forced UNSAT — for a per-case query the
+            # responsible deadlock case, for a parametric query the
+            # cap[q==k] pins that make the configuration infeasible.
+            core = [self._label_of(term) for term in self.solver.unsat_core()]
+            stats["formula_unsat"] = self.solver.formula_unsat
             return VerificationResult(
-                Verdict.DEADLOCK_FREE, invariants=list(self._invariants), stats=stats
+                Verdict.DEADLOCK_FREE,
+                invariants=list(self._invariants),
+                stats=stats,
+                unsat_core=core,
             )
         from .proof import extract_witness
 
         witness = extract_witness(
-            self.network, self.colors, self.pool, self.solver, self.encoding
+            self.network, self.colors, self.pool, self.solver.model()
         )
         return VerificationResult(
             Verdict.DEADLOCK_CANDIDATE,
@@ -239,6 +451,15 @@ class VerificationSession:
         """Can ``source`` be permanently refused ``color`` packets?"""
         name = source if isinstance(source, str) else source.name
         return self.verify_case(self.encoding.case_of("source", name, color))
+
+    def verify_all_cases(self) -> list[VerificationResult]:
+        """One verdict per deadlock case, in encoding order.
+
+        The per-channel fan-out of the paper's workflow; the parallel
+        session (:class:`repro.core.parallel.ParallelVerificationSession`)
+        answers the same list concurrently.
+        """
+        return [self.verify_case(case) for case in self.encoding.cases]
 
     def enumerate_witnesses(self, limit: int = 16) -> Iterator[DeadlockWitness]:
         """Yield distinct deadlock candidates (up to ``limit``).

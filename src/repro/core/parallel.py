@@ -1,0 +1,566 @@
+"""Parallel verification orchestration over a worker pool.
+
+ADVOCAT's query mix is embarrassingly parallel: the per-channel deadlock
+candidates, the per-source idle checks and the Figure-4 queue-size probes
+are independent queries over one fixed encoding.
+:class:`ParallelVerificationSession` exploits that structure:
+
+* the **build phase** runs once in the parent
+  (:class:`~repro.core.engine.SessionSpec`: colors → invariants →
+  encoding) and is flattened into a pickle-safe
+  :class:`~repro.core.engine.SessionSnapshot`;
+* each pool worker rehydrates the snapshot into its own incremental
+  solver (:class:`WorkerSession`) — no color derivation, invariant
+  generation or re-encoding in the workers;
+* queries travel as plain data — guard-variable *names* plus a
+  ``(queue, size)`` pin list — and results travel back as verdict +
+  unsat-core names or a model-value slice, from which the parent rebuilds
+  :class:`~repro.core.result.VerificationResult`\\ s (witnesses included)
+  in its own term space;
+* merged result lists are deterministic: :meth:`verify_all_cases` returns
+  results in encoding order regardless of worker completion order
+  (first-witness-stable), and sharded probes preserve submission order.
+
+Backends: ``"process"`` (default) runs workers in separate processes —
+real parallelism for the pure-Python solver — each rehydrating the
+snapshot independently; ``"thread"`` rehydrates one template
+:class:`WorkerSession` in-process and hands every pool thread a
+:meth:`Solver.fork` clone of it.  The GIL serialises thread workers, but
+the backend exercises the same snapshot + query protocol cheaply (used
+heavily by the differential tests).
+
+Witness enumeration stays sequential (each blocking clause depends on the
+previous model), so :meth:`enumerate_witnesses` delegates to a local
+:class:`~repro.core.engine.VerificationSession` sharing the same spec.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import get_all_start_methods, get_context
+from time import perf_counter
+from typing import Hashable, Iterator, Mapping, Sequence
+
+from ..smt import Model, Result, boolvar, eq, implies
+from ..smt.serialize import restore_solver
+from ..xmas import Network, Queue, Source
+from .deadlock import DeadlockCase
+from .engine import (
+    ANY_CASE_LABEL,
+    SessionSnapshot,
+    SessionSpec,
+    VerificationSession,
+    resolve_resize,
+)
+from .proof import extract_witness
+from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
+
+__all__ = ["ParallelVerificationSession", "WorkerSession", "default_jobs"]
+
+Color = Hashable
+
+# A query target is resolved against the snapshot's guard tables inside
+# the worker: None = the master "any case" guard, an int = that index
+# into the encoding's deadlock cases.  A query job is
+# ("check", target, ((queue, size), ...) | None, want witness); a shard
+# job bundles ordered probes for one worker:
+# ("shard", ((target, sizes), ...), want witness).
+Job = tuple
+Target = int | None
+SizesKey = tuple[tuple[str, int], ...]
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose one."""
+    return max(1, os.cpu_count() or 1)
+
+
+class WorkerSession:
+    """Worker-side query engine rehydrated from a session snapshot.
+
+    Self-contained: everything it consults — the solver's CNF image, the
+    deadlock-case guard tables, the ``cap[q]`` variable keys, the default
+    sizes and the witness recipe — comes from the snapshot, so a bare
+    snapshot (pickled to another process or machine) is a complete query
+    session.  Queries name a *target* (``None`` for the master guard, an
+    index for one deadlock case); capacity pins are minted lazily per
+    ``(queue, size)`` exactly like the sequential session does, so a
+    worker probing a shard of ascending sizes warm-starts each probe with
+    everything learned on the previous ones.
+    """
+
+    def __init__(self, snapshot: SessionSnapshot):
+        self.snapshot = snapshot
+        self.solver, ints = restore_solver(snapshot.solver)
+        self._capacities = {
+            name: ints[uid] for name, uid in snapshot.capacity_uids
+        }
+        self._size_guard_names: dict[tuple[str, int], str] = {}
+        self._witness_vars = [
+            (uid, ints[uid]) for uid in snapshot.witness_int_uids
+        ]
+
+    def fork(self) -> "WorkerSession":
+        """An independent clone over the same solver state (in-process).
+
+        Thread pools rehydrate the snapshot once and fork the template
+        per worker thread — :meth:`Solver.fork` copies the CNF tables and
+        shares the immutable restored terms, so no re-minting happens.
+        """
+        clone = object.__new__(WorkerSession)
+        clone.snapshot = self.snapshot
+        clone.solver = self.solver.fork()
+        clone._capacities = self._capacities  # immutable vocabulary
+        clone._witness_vars = self._witness_vars
+        # Guard definitions already minted live in the forked clauses.
+        clone._size_guard_names = dict(self._size_guard_names)
+        return clone
+
+    # ------------------------------------------------------------------
+    def _guard_name(self, target: Target) -> str:
+        if target is None:
+            return self.snapshot.any_guard_name
+        return self.snapshot.case_guard_names[target]
+
+    def _capacity_assumption_names(self, sizes: SizesKey) -> list[str]:
+        names = []
+        for queue_name, size in sizes:
+            key = (queue_name, size)
+            name = self._size_guard_names.get(key)
+            if name is None:
+                name = f"cap[{queue_name}=={size}]"
+                guard = boolvar(name)
+                self.solver.add_global(
+                    implies(guard, eq(self._capacities[queue_name], size))
+                )
+                self._size_guard_names[key] = name
+            names.append(name)
+        return names
+
+    def check(
+        self,
+        target: Target,
+        sizes: SizesKey | None = None,
+        want_witness: bool = True,
+    ) -> tuple:
+        """Answer one guard-literal query; returns a plain-data payload.
+
+        ``sizes=None`` falls back to the snapshot's default sizes when
+        the encoding is parametric (a bare-snapshot consumer probing the
+        as-built configuration); an explicit pin list overrides.
+        """
+        start = perf_counter()
+        names = [self._guard_name(target)]
+        if sizes is None and self.snapshot.parametric:
+            sizes = self.snapshot.default_sizes
+        if sizes is not None:
+            names.extend(self._capacity_assumption_names(sizes))
+        outcome = self.solver.check(
+            assumptions=[boolvar(name) for name in names]
+        )
+        elapsed = perf_counter() - start
+        stats = dict(self.solver.stats)
+        if outcome == Result.UNSAT:
+            core = tuple(
+                getattr(term, "name", repr(term))
+                for term in self.solver.unsat_core()
+            )
+            return ("unsat", core, self.solver.formula_unsat, stats, elapsed)
+        if not want_witness:
+            return ("sat", None, None, stats, elapsed)
+        model = self.solver.model()
+        ints = {uid: int(model[var]) for uid, var in self._witness_vars}
+        bools = {
+            name: bool(model[name])
+            for name in self.snapshot.witness_bool_names
+        }
+        return ("sat", ints, bools, stats, elapsed)
+
+    def run(self, job: Job):
+        kind = job[0]
+        if kind == "check":
+            _, target, sizes, want_witness = job
+            return self.check(target, sizes, want_witness)
+        if kind == "shard":
+            _, probes, want_witness = job
+            return [
+                self.check(target, sizes, want_witness)
+                for target, sizes in probes
+            ]
+        raise ValueError(f"unknown worker job kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Pool plumbing.  One WorkerSession per pool worker, stored thread-locally:
+# a process worker executes initializer and tasks on its single main
+# thread and rehydrates the pickled snapshot itself; thread workers each
+# fork() an in-process template rehydrated once by the parent.
+# ---------------------------------------------------------------------------
+
+_WORKER = threading.local()
+
+
+def _initialize_worker(snapshot: SessionSnapshot) -> None:
+    _WORKER.session = WorkerSession(snapshot)
+
+
+def _initialize_thread_worker(template: WorkerSession) -> None:
+    _WORKER.session = template.fork()
+
+
+def _run_job(job: Job):
+    return _WORKER.session.run(job)
+
+
+class ParallelVerificationSession:
+    """Fan guard-literal queries of one network out over a worker pool.
+
+    Exposes the :class:`~repro.core.engine.VerificationSession` query API
+    (``verify``, ``verify_case``, ``verify_channel``, ``verify_source``,
+    ``verify_all_cases``, ``enumerate_witnesses``, ``resize_queues``,
+    ``add_invariants``) with identical verdicts; per-channel fan-outs and
+    size sweeps run concurrently.
+
+    Parameters
+    ----------
+    network:
+        The network to verify; ignored when ``spec`` is given.
+    jobs:
+        Worker count (default: CPU count).  ``verify_all_cases(jobs=N)``
+        can re-target a different count per call.
+    backend:
+        ``"process"`` (true parallelism) or ``"thread"`` (GIL-bound, for
+        tests and debugging).
+    rotating_precision, max_splits, parametric_queues, spec:
+        As for :class:`~repro.core.engine.VerificationSession`.
+
+    The pool is started lazily on the first query (building the session
+    snapshot once), restarted when :meth:`add_invariants` strengthens the
+    encoding, and released by :meth:`close` / the context manager.
+    """
+
+    def __init__(
+        self,
+        network: Network | None = None,
+        jobs: int | None = None,
+        backend: str = "process",
+        rotating_precision: bool = True,
+        max_splits: int = 100_000,
+        parametric_queues: bool = True,
+        spec: SessionSpec | None = None,
+    ):
+        if backend not in ("process", "thread"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if spec is None:
+            if network is None:
+                raise TypeError(
+                    "ParallelVerificationSession needs a network or a spec"
+                )
+            spec = SessionSpec(
+                network,
+                rotating_precision=rotating_precision,
+                parametric_queues=parametric_queues,
+            )
+        self.spec = spec
+        self.network = spec.network
+        self.colors = spec.colors
+        self.pool = spec.pool
+        self.encoding = spec.encoding
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.backend = backend
+        self._max_splits = max_splits
+        self._parametric = spec.parametric
+        self._sizes: dict[str, int] = dict(spec.initial_sizes)
+        self._executor = None
+        self._pool_size = 0
+        self._pool_has_invariants = False
+        self._local: VerificationSession | None = None
+        self._var_by_uid = {
+            var.uid: var for _, var in spec.pool.state_items()
+        }
+        self._var_by_uid.update(
+            (var.uid, var) for _, var in spec.pool.occupancy_items()
+        )
+        self._label_by_guard_name = {
+            case.guard.name: case.label for case in self.encoding.cases
+        }
+        self._label_by_guard_name[self.encoding.any_guard.name] = ANY_CASE_LABEL
+        self._index_by_guard_name = {
+            case.guard.name: index
+            for index, case in enumerate(self.encoding.cases)
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _shutdown_pool(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=True)
+            self._executor = None
+            self._pool_size = 0
+
+    def close(self) -> None:
+        """Release pool workers (the spec and local session stay usable)."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "ParallelVerificationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best effort; close() is the real API
+        try:
+            # wait=False: a finalizer must not block the GC thread on an
+            # in-flight solver query (running jobs cannot be cancelled).
+            self._shutdown_pool(wait=False)
+        except Exception:
+            pass
+
+    def _ensure_pool(self, jobs: int | None = None):
+        want = jobs if jobs is not None else self.jobs
+        if want < 1:
+            raise ValueError(f"jobs must be >= 1, got {want}")
+        # Re-targeting sticks: later default-jobs queries reuse this pool
+        # instead of thrashing a teardown/rebuild per call.
+        self.jobs = want
+        spec_has_invariants = self.spec.invariants is not None
+        if self._executor is not None and (
+            self._pool_size != want
+            # The spec was strengthened (possibly by *another* session
+            # sharing it) after these workers rehydrated: restart so the
+            # pool answers from the same encoding a fresh session would.
+            or self._pool_has_invariants != spec_has_invariants
+        ):
+            self._shutdown_pool()
+        if self._executor is None:
+            snapshot = self.spec.snapshot(max_splits=self._max_splits)
+            if self.backend == "process":
+                # fork inherits the parent cheaply, but only Linux runs it
+                # safely (CPython documents fork as crash-prone on macOS);
+                # everywhere else the pickled snapshot initargs make the
+                # platform-default spawn work identically.
+                method = (
+                    "fork"
+                    if sys.platform.startswith("linux")
+                    and "fork" in get_all_start_methods()
+                    else "spawn"
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=want,
+                    mp_context=get_context(method),
+                    initializer=_initialize_worker,
+                    initargs=(snapshot,),
+                )
+            else:
+                template = WorkerSession(snapshot)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=want,
+                    initializer=_initialize_thread_worker,
+                    initargs=(template,),
+                )
+            self._pool_size = want
+            self._pool_has_invariants = spec_has_invariants
+        return self._executor
+
+    def _local_session(self) -> VerificationSession:
+        if self._local is None:
+            self._local = VerificationSession(
+                spec=self.spec, max_splits=self._max_splits
+            )
+        if self.spec.invariants is not None:
+            self._local.add_invariants()  # no-op once loaded
+        if self._parametric:
+            self._local.resize_queues(dict(self._sizes))
+        return self._local
+
+    # ------------------------------------------------------------------
+    # Configuration (mirrors the sequential session)
+    # ------------------------------------------------------------------
+    def add_invariants(self) -> list[Invariant]:
+        """Generate + conjoin invariants (idempotent).
+
+        Running workers rehydrated from the unstrengthened encoding are
+        restarted lazily by the next query (:meth:`_ensure_pool` compares
+        the pool's snapshot against the spec) — the same healing covers a
+        *different* session strengthening the shared spec.
+        """
+        invariants = self.spec.generate_invariants()
+        if self._local is not None:
+            self._local.add_invariants()
+        return invariants
+
+    @property
+    def invariants(self) -> list[Invariant]:
+        return self.spec.invariants or []
+
+    def resize_queues(self, sizes: int | Mapping[str, int]) -> None:
+        """Re-target later queries; pins travel with each job, so no
+        worker restart is needed."""
+        self._sizes = resolve_resize(self._sizes, sizes, self._parametric)
+
+    @property
+    def queue_sizes(self) -> dict[str, int]:
+        return dict(self._sizes)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _sizes_key(self, sizes: Mapping[str, int] | None = None) -> SizesKey | None:
+        if not self._parametric:
+            return None
+        mapping = self._sizes if sizes is None else sizes
+        return tuple(sorted(mapping.items()))
+
+    def _merge(
+        self, payload: tuple, sizes: Mapping[str, int] | None = None
+    ) -> VerificationResult:
+        """One worker payload → a parent-space VerificationResult."""
+        kind, a, b, solver_stats, elapsed = payload
+        invariants = self.spec.invariants or []
+        stats = {
+            "network": self.network.stats(),
+            "color_pairs": self.colors.total_pairs(),
+            "invariant_count": len(invariants),
+            "solver": solver_stats,
+            "solve_seconds": elapsed,
+        }
+        if self._parametric:
+            stats["queue_sizes"] = dict(
+                self._sizes if sizes is None else sizes
+            )
+        if kind == "unsat":
+            core = [
+                self._label_by_guard_name.get(name, name) for name in a
+            ]
+            stats["formula_unsat"] = b
+            return VerificationResult(
+                Verdict.DEADLOCK_FREE,
+                invariants=list(invariants),
+                stats=stats,
+                unsat_core=core,
+            )
+        witness = None
+        if a is not None:
+            model = Model(
+                {self._var_by_uid[uid]: value for uid, value in a.items()},
+                dict(b),
+            )
+            witness = extract_witness(self.network, self.colors, self.pool, model)
+        return VerificationResult(
+            Verdict.DEADLOCK_CANDIDATE,
+            witness=witness,
+            invariants=list(invariants),
+            stats=stats,
+        )
+
+    def _dispatch(self, jobs_list: list[Job], jobs: int | None = None, chunksize: int = 1):
+        executor = self._ensure_pool(jobs)
+        return list(executor.map(_run_job, jobs_list, chunksize=chunksize))
+
+    def verify(self) -> VerificationResult:
+        """The full deadlock check, answered by one pool worker."""
+        payload = self._dispatch(
+            [("check", None, self._sizes_key(), True)]
+        )[0]
+        return self._merge(payload)
+
+    def verify_case(self, case: DeadlockCase) -> VerificationResult:
+        payload = self._dispatch(
+            [
+                (
+                    "check",
+                    self._index_by_guard_name[case.guard.name],
+                    self._sizes_key(),
+                    True,
+                )
+            ]
+        )[0]
+        return self._merge(payload)
+
+    def verify_channel(self, queue: Queue | str, color: Color) -> VerificationResult:
+        name = queue if isinstance(queue, str) else queue.name
+        return self.verify_case(self.encoding.case_of("queue", name, color))
+
+    def verify_source(self, source: Source | str, color: Color) -> VerificationResult:
+        name = source if isinstance(source, str) else source.name
+        return self.verify_case(self.encoding.case_of("source", name, color))
+
+    def verify_all_cases(self, jobs: int | None = None) -> list[VerificationResult]:
+        """Every deadlock case concurrently; results in encoding order.
+
+        The merge is deterministic (first-witness-stable): result ``i``
+        always corresponds to ``encoding.cases[i]`` no matter which worker
+        answered first.
+        """
+        sizes = self._sizes_key()
+        job_list: list[Job] = [
+            ("check", index, sizes, True)
+            for index in range(len(self.encoding.cases))
+        ]
+        pool_size = jobs if jobs is not None else self.jobs
+        chunksize = max(1, len(job_list) // max(1, pool_size * 4))
+        payloads = self._dispatch(job_list, jobs=jobs, chunksize=chunksize)
+        return [self._merge(payload) for payload in payloads]
+
+    def probe_shards(
+        self,
+        shards: Sequence[Sequence[Mapping[str, int]]],
+        want_witness: bool = True,
+    ) -> list[list[VerificationResult]]:
+        """Run the full check under each capacity assignment, sharded.
+
+        ``shards[w]`` is the ordered list of per-queue size assignments
+        worker ``w`` probes on its own rehydrated session — ascending
+        order within a shard warm-starts each probe with the clauses
+        learned on the previous ones.  Returns results aligned with the
+        input structure.
+        """
+        if not self._parametric:
+            raise RuntimeError("probe_shards() requires parametric_queues=True")
+        full_shards = [
+            [
+                resolve_resize(self._sizes, dict(assignment), True)
+                for assignment in shard
+            ]
+            for shard in shards
+        ]
+        job_list: list[Job] = [
+            (
+                "shard",
+                tuple((None, tuple(sorted(full.items()))) for full in shard),
+                want_witness,
+            )
+            for shard in full_shards
+        ]
+        payload_lists = self._dispatch(job_list)
+        return [
+            [
+                self._merge(payload, sizes=full)
+                for full, payload in zip(shard, payloads)
+            ]
+            for shard, payloads in zip(full_shards, payload_lists)
+        ]
+
+    def enumerate_witnesses(self, limit: int = 16) -> Iterator[DeadlockWitness]:
+        """Sequential by nature (each blocking clause depends on the last
+        model); runs on a local session sharing this spec."""
+        return self._local_session().enumerate_witnesses(limit=limit)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "network": self.network.stats(),
+            "color_pairs": self.colors.total_pairs(),
+            "invariant_count": len(self.spec.invariants or []),
+            "jobs": self.jobs,
+            "backend": self.backend,
+            "pool_running": self._executor is not None,
+        }

@@ -19,10 +19,9 @@ directly and let it reuse the encoding and every learned clause.
 
 from __future__ import annotations
 
-from ..smt import Solver
+from ..smt import Model
 from ..xmas import Network
 from .colors import ColorMap
-from .deadlock import DeadlockEncoding
 from .engine import VerificationSession
 from .result import DeadlockWitness, VerificationResult
 from .vars import VarPool
@@ -89,12 +88,16 @@ def extract_witness(
     network: Network,
     colors: ColorMap,
     pool: VarPool,
-    solver: Solver,
-    encoding: DeadlockEncoding,
+    model: Model,
 ) -> DeadlockWitness:
-    """Read the deadlock configuration out of the SMT model."""
-    model = solver.model()
+    """Read the deadlock configuration out of an SMT model.
 
+    ``model`` only needs mapping access for the pool's state/occupancy
+    integer variables and the block booleans — a local
+    :meth:`~repro.smt.Solver.model` works, and so does a model
+    reconstructed from a worker process's value payload
+    (:mod:`repro.core.parallel`).
+    """
     automaton_states: dict[str, str] = {}
     for automaton in network.automata():
         chosen = [

@@ -132,6 +132,11 @@ class VerificationResult:
     witness: DeadlockWitness | None = None
     invariants: list[Invariant] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
+    # On DEADLOCK_FREE: the labels of the assumed guards responsible for
+    # UNSAT (deadlock-case labels, "cap[q==k]" capacity pins).  An empty
+    # list means the encoding is infeasible regardless of the assumptions
+    # (stats["formula_unsat"] is then True); None on SAT results.
+    unsat_core: list[str] | None = None
 
     @property
     def deadlock_free(self) -> bool:
@@ -141,6 +146,8 @@ class VerificationResult:
         lines = [f"verdict: {self.verdict.value}"]
         if self.invariants:
             lines.append(f"invariants: {len(self.invariants)}")
+        if self.unsat_core:
+            lines.append("unsat core: " + ", ".join(self.unsat_core))
         if self.witness is not None:
             lines.append(self.witness.pretty())
         return "\n".join(lines)

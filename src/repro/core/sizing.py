@@ -22,26 +22,39 @@ the paper's Figure 4); pass ``incremental=False`` for exotic builders.
 assumption about the *model family*, so the result records every probed
 size and its verdict, and ``exhaustive=True`` re-checks every size below
 the reported minimum.
+
+:func:`sweep_queue_sizes` is the parallel counterpart for the *curve*
+rather than the boundary: probe an explicit list of sizes (Figure 4 plots
+one verdict per point) sharded across pool workers.  Each worker holds
+one rehydrated parametric session and walks its shard in ascending order,
+so every probe warm-starts on the clauses learned by the previous ones —
+the same locality the sequential sweep exploits, multiplied by the worker
+count.  Per-shard outcomes are aggregated with :meth:`SizingResult.merge`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from ..xmas import Network
 from .engine import VerificationSession
 from .proof import verify
 from .result import VerificationResult
 
-__all__ = ["SizingResult", "minimal_queue_size"]
+__all__ = ["SizingResult", "minimal_queue_size", "sweep_queue_sizes"]
 
 
 @dataclass
 class SizingResult:
-    """Outcome of a queue-size search."""
+    """Outcome of a queue-size search or sweep.
 
-    minimal_size: int
+    ``minimal_size`` is ``None`` when no probed size verified — possible
+    for shard-level partial results (see :meth:`merge`) and for sweeps
+    over a fixed size list that never reaches the boundary.
+    """
+
+    minimal_size: int | None
     probes: dict[int, bool] = field(default_factory=dict)  # size -> deadlock-free?
     results: dict[int, VerificationResult] = field(default_factory=dict)
 
@@ -50,7 +63,36 @@ class SizingResult:
             f"{size}:{'free' if free else 'deadlock'}"
             for size, free in sorted(self.probes.items())
         )
+        if self.minimal_size is None:
+            return f"no deadlock-free queue size probed ({probed})"
         return f"minimal deadlock-free queue size = {self.minimal_size} ({probed})"
+
+    @classmethod
+    def merge(cls, parts: Iterable["SizingResult"]) -> "SizingResult":
+        """Aggregate shard-level results into one.
+
+        Probe maps are unioned (a size probed by two shards must agree —
+        verdicts are semantically determined) and the minimal size is
+        recomputed from the union, so partial shards with
+        ``minimal_size=None`` merge cleanly.
+        """
+        probes: dict[int, bool] = {}
+        results: dict[int, VerificationResult] = {}
+        for part in parts:
+            for size, free in part.probes.items():
+                if size in probes and probes[size] != free:
+                    raise ValueError(
+                        f"conflicting verdicts for queue size {size} "
+                        "across merged SizingResults"
+                    )
+                probes[size] = free
+            results.update(part.results)
+        free_sizes = [size for size, free in probes.items() if free]
+        return cls(
+            minimal_size=min(free_sizes) if free_sizes else None,
+            probes=probes,
+            results=results,
+        )
 
 
 def minimal_queue_size(
@@ -154,3 +196,104 @@ def minimal_queue_size(
                     f"binary search reported {minimal}"
                 )
     return SizingResult(minimal_size=minimal, probes=probes, results=results)
+
+
+def _capacity_only_assignment(
+    built: Network, base_stats: dict, base_queues: set[str]
+) -> dict[int, int] | dict[str, int]:
+    """The per-queue sizes of ``built``, after guarding the capacity-only
+    assumption shared with the incremental ``minimal_queue_size`` path."""
+    if (
+        built.stats() != base_stats
+        or {q.name for q in built.queues()} != base_queues
+    ):
+        raise ValueError(
+            "build(size) changed network structure, not just queue "
+            "capacities; sweep the sizes with one session per size instead"
+        )
+    return {q.name: q.size for q in built.queues()}
+
+
+def sweep_queue_sizes(
+    build: Callable[[int], Network],
+    sizes: Iterable[int],
+    jobs: int = 1,
+    use_invariants: bool = True,
+    backend: str = "process",
+    want_witness: bool = True,
+    **verify_kwargs,
+) -> SizingResult:
+    """Verdict per queue size over an explicit size list, sharded.
+
+    The Figure-4 *curve*: every size in ``sizes`` is probed (no binary
+    search, no monotonicity assumption) and the result records the full
+    verdict map.  With ``jobs > 1`` the points are striped across pool
+    workers — worker ``w`` probes sizes ``w, w+jobs, w+2*jobs, ...`` of
+    the ascending list, in ascending order, on its own rehydrated
+    parametric session (warm-start within the shard).  Per-shard
+    :class:`SizingResult`\\ s are aggregated with :meth:`SizingResult.merge`.
+
+    ``build`` must vary only queue capacities (checked), as for the
+    incremental ``minimal_queue_size``.  ``verify_kwargs`` forwards
+    ``rotating_precision`` / ``max_splits``.
+    """
+    size_list = sorted(set(sizes))
+    if not size_list:
+        raise ValueError("sweep_queue_sizes() needs at least one size")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    base_network = build(size_list[0])
+    base_stats = base_network.stats()
+    base_queues = {q.name for q in base_network.queues()}
+    assignments = {
+        size: _capacity_only_assignment(build(size), base_stats, base_queues)
+        if size != size_list[0]
+        else {q.name: q.size for q in base_network.queues()}
+        for size in size_list
+    }
+
+    if jobs == 1:
+        session = VerificationSession(
+            base_network, parametric_queues=True, **verify_kwargs
+        )
+        if use_invariants:
+            session.add_invariants()
+        part = SizingResult(minimal_size=None)
+        for size in size_list:
+            session.resize_queues(assignments[size])
+            result = session.verify()
+            if not want_witness:
+                # Match the parallel path's payload shape: the session
+                # always extracts on SAT, so drop it afterwards.
+                result.witness = None
+            part.probes[size] = result.deadlock_free
+            part.results[size] = result
+        return SizingResult.merge([part])
+
+    from .parallel import ParallelVerificationSession
+
+    with ParallelVerificationSession(
+        base_network,
+        jobs=jobs,
+        backend=backend,
+        parametric_queues=True,
+        **verify_kwargs,
+    ) as session:
+        if use_invariants:
+            session.add_invariants()
+        shard_sizes = [size_list[w::jobs] for w in range(jobs)]
+        shard_sizes = [shard for shard in shard_sizes if shard]
+        shard_results = session.probe_shards(
+            [[assignments[size] for size in shard] for shard in shard_sizes],
+            want_witness=want_witness,
+        )
+    parts = []
+    for shard, results_list in zip(shard_sizes, shard_results):
+        part = SizingResult(minimal_size=None)
+        for size, result in zip(shard, results_list):
+            part.probes[size] = result.deadlock_free
+            part.results[size] = result
+        free = [size for size, ok in part.probes.items() if ok]
+        part.minimal_size = min(free) if free else None
+        parts.append(part)
+    return SizingResult.merge(parts)

@@ -9,6 +9,7 @@ Python, no external solver required.
 """
 
 from .sat import BudgetExceeded, Cdcl
+from .serialize import SolverSnapshot, restore_solver, snapshot_solver
 from .solver import Model, Result, Solver, SolverBudgetError
 from .terms import (
     FALSE,
@@ -46,6 +47,9 @@ __all__ = [
     "Result",
     "Model",
     "SolverBudgetError",
+    "SolverSnapshot",
+    "snapshot_solver",
+    "restore_solver",
     "Cdcl",
     "BudgetExceeded",
     "Term",

@@ -33,6 +33,25 @@ class CnfBuilder:
         self._lit_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------
+    def clone(self) -> "CnfBuilder":
+        """An independent copy sharing no mutable state with the original.
+
+        Term and :class:`LinearAtom` objects themselves are shared (they
+        are immutable and interned), so a clone is only meaningful within
+        the process that built the original — cross-process transfer goes
+        through :mod:`repro.smt.serialize` instead.
+        """
+        copy = CnfBuilder()
+        copy.n_vars = self.n_vars
+        copy.clauses = [list(clause) for clause in self.clauses]
+        copy.unsatisfiable = self.unsatisfiable
+        copy.atom_of_var = dict(self.atom_of_var)
+        copy.var_of_atom = dict(self.var_of_atom)
+        copy.var_of_boolname = dict(self.var_of_boolname)
+        copy._lit_cache = dict(self._lit_cache)
+        return copy
+
+    # ------------------------------------------------------------------
     def new_var(self) -> int:
         self.n_vars += 1
         return self.n_vars

@@ -1,0 +1,128 @@
+"""Pickle-safe snapshots of a built solver state.
+
+The term language is hash-consed with identity-based equality (``IntVar``
+equality is ``is``, interning keys use process-local ``uid`` counters), so
+:class:`~repro.smt.terms.Term` objects cannot cross a process boundary.
+What *can* cross is the CNF level: by the time an encoding has been loaded
+into a :class:`~repro.smt.Solver`, every assertion is integer clauses, a
+``name → SAT var`` table for boolean variables, and a ``SAT var → linear
+atom`` side table whose atoms are integer coefficient rows over named
+integer variables.  :class:`SolverSnapshot` captures exactly that — plain
+tuples of ints and strings, safely picklable under any multiprocessing
+start method.
+
+:func:`restore_solver` rebuilds a fully independent :class:`Solver` from a
+snapshot: fresh ``IntVar`` objects are minted (one per original variable,
+keyed by the original's ``uid``) and the CNF tables are repopulated so the
+first ``check()`` hands everything to a fresh CDCL core and theory bridge.
+The restored solver connects to snapshot state **by name**: asserting or
+assuming a ``boolvar("g")`` resolves to the snapshot's SAT variable for
+``g``, which is how worker processes re-use guard literals minted by the
+parent (deadlock-case guards, ``cap[q==k]`` capacity pins) without ever
+shipping a term.  New arithmetic over the *restored* ``IntVar`` objects
+(returned in the uid map) composes with snapshot constraints exactly like
+new arithmetic in the original solver would.
+
+Learned clauses are deliberately not captured: they are redundant, and the
+snapshot is taken once per session build while workers re-learn what their
+own query mix needs (see ROADMAP: per-worker clause-database reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .terms import IntVar, LinearAtom
+
+__all__ = ["SolverSnapshot", "snapshot_solver", "restore_solver"]
+
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SolverSnapshot:
+    """Plain-data image of a :class:`~repro.smt.Solver`'s asserted state.
+
+    Every field is built from ints, strings and tuples only, so instances
+    pickle under the ``spawn`` start method and can be stored or hashed
+    for cache keys.  ``int_vars`` keys integer variables by the *original*
+    process's ``uid`` — a stable token for callers to name variables
+    across the boundary, never interpreted as a uid on the restoring side.
+    """
+
+    version: int
+    max_splits: int
+    n_vars: int
+    clauses: tuple[tuple[int, ...], ...]
+    unsatisfiable: bool
+    bool_vars: tuple[tuple[str, int], ...]  # (name, SAT var)
+    int_vars: tuple[tuple[int, str], ...]  # (original uid, name)
+    atoms: tuple[tuple[int, tuple[tuple[int, int], ...], int], ...]
+    # each atom: (SAT var, ((int var uid, coeff), ...), bound)
+
+
+def snapshot_solver(solver) -> SolverSnapshot:
+    """Capture ``solver``'s base-level assertions as plain data.
+
+    Requires all :meth:`~repro.smt.Solver.push` scopes to be closed — a
+    snapshot has no way to mark a scope "still open" on the other side.
+    Clauses of *popped* scopes are captured as-is (they carry a retired
+    selector literal and stay permanently satisfied, same as locally).
+    """
+    if solver.scope_depth:
+        raise ValueError(
+            f"cannot snapshot a solver with {solver.scope_depth} open "
+            "push() scope(s); pop them first"
+        )
+    cnf = solver._cnf
+    int_vars: dict[int, str] = {}
+    atoms = []
+    for satvar, atom in cnf.atom_of_var.items():
+        for var in atom.variables():
+            int_vars.setdefault(var.uid, var.name)
+        atoms.append(
+            (satvar, tuple((v.uid, c) for v, c in atom.coeffs), atom.bound)
+        )
+    return SolverSnapshot(
+        version=SNAPSHOT_VERSION,
+        max_splits=solver._max_splits,
+        n_vars=cnf.n_vars,
+        clauses=tuple(tuple(clause) for clause in cnf.clauses),
+        unsatisfiable=cnf.unsatisfiable,
+        bool_vars=tuple(cnf.var_of_boolname.items()),
+        # Sorted by original uid: restoration mints fresh IntVars in this
+        # order, so their (monotone) new uids preserve the originals'
+        # relative order and re-normalised atoms hash onto restored ones.
+        int_vars=tuple(sorted(int_vars.items())),
+        atoms=tuple(atoms),
+    )
+
+
+def restore_solver(snapshot: SolverSnapshot):
+    """Rehydrate ``(solver, ints)`` from a :class:`SolverSnapshot`.
+
+    ``ints`` maps each *original* integer-variable uid to the freshly
+    minted :class:`IntVar` standing for it in the restored solver; use it
+    to build new arithmetic (capacity pins, blocking shapes) that composes
+    with the snapshot's constraints.  Boolean variables need no map — a
+    restored solver resolves them by name.
+    """
+    from .solver import Solver
+
+    if snapshot.version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot version {snapshot.version} is not supported "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    solver = Solver(max_splits=snapshot.max_splits)
+    cnf = solver._cnf
+    cnf.n_vars = snapshot.n_vars
+    cnf.clauses = [list(clause) for clause in snapshot.clauses]
+    cnf.unsatisfiable = snapshot.unsatisfiable
+    cnf.var_of_boolname = dict(snapshot.bool_vars)
+    ints = {uid: IntVar(name) for uid, name in snapshot.int_vars}
+    for satvar, coeffs, bound in snapshot.atoms:
+        atom = LinearAtom(tuple((ints[uid], c) for uid, c in coeffs), bound)
+        cnf.atom_of_var[satvar] = atom
+        cnf.var_of_atom[atom] = satvar
+    return solver, ints

@@ -123,7 +123,45 @@ class Solver:
         self._scopes: list[int] = []  # selector SAT variables, innermost last
         self._model: Model | None = None
         self._core: list[Term] | None = None
+        self._formula_unsat: bool | None = None
         self.stats: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Cloning and serialization
+    # ------------------------------------------------------------------
+    def fork(self) -> "Solver":
+        """An independent solver over the same asserted formula.
+
+        The CNF state (clauses, variable tables, scope stack) is copied;
+        the clone gets a fresh CDCL core and theory bridge, populated
+        lazily on its first :meth:`check`.  Learned clauses are *not*
+        carried over — each fork re-learns what its own query mix needs.
+        Forks share immutable term objects with the original, so they are
+        thread-cloning tools; use :meth:`snapshot` to cross processes.
+        """
+        clone = Solver(max_splits=self._max_splits)
+        clone._cnf = self._cnf.clone()
+        clone._scopes = list(self._scopes)
+        return clone
+
+    def snapshot(self):
+        """A pickle-safe :class:`~repro.smt.serialize.SolverSnapshot`."""
+        from .serialize import snapshot_solver
+
+        return snapshot_solver(self)
+
+    @classmethod
+    def from_snapshot(cls, snapshot) -> "Solver":
+        """Rehydrate a solver from :meth:`snapshot` (possibly cross-process).
+
+        Returns only the solver; use
+        :func:`repro.smt.serialize.restore_solver` when the restored
+        integer variables are needed for new arithmetic.
+        """
+        from .serialize import restore_solver
+
+        solver, _ = restore_solver(snapshot)
+        return solver
 
     # ------------------------------------------------------------------
     # Assertions and scopes
@@ -225,9 +263,16 @@ class Solver:
         """
         self._model = None
         self._core = None
+        self._formula_unsat = None
         if self._cnf.unsatisfiable:
-            self.stats = {"conflicts": 0, "decisions": 0, "splits": 0}
+            # A bare FALSE was asserted: UNSAT without consulting the SAT
+            # core.  The core is empty *because the formula alone is
+            # contradictory* (see formula_unsat), and the stat dict keeps
+            # the full canonical key set so per-query deltas stay uniform.
+            self.stats = {key: 0 for key in self._sat.stats}
+            self.stats["splits"] = 0
             self._core = []
+            self._formula_unsat = True
             return Result.UNSAT
         assumption_lits = [self._cnf.literal(term) for term in assumptions]
         before = dict(self._sat.stats)
@@ -245,6 +290,7 @@ class Solver:
                     if lit in core_lits and term.uid not in seen:
                         seen.add(term.uid)
                         self._core.append(term)
+                self._formula_unsat = not self._core
                 return Result.UNSAT
             fractional = self._bridge.fractional_var()
             if fractional is None:
@@ -305,6 +351,20 @@ class Solver:
         if self._core is None:
             raise RuntimeError("unsat_core() requires a prior UNSAT check()")
         return list(self._core)
+
+    @property
+    def formula_unsat(self) -> bool:
+        """Whether the last UNSAT verdict holds with *no* assumptions.
+
+        Distinguishes the two readings of an empty :meth:`unsat_core`:
+        ``True`` means the asserted formula is contradictory by itself
+        (including the early short-circuit on a bare FALSE assertion);
+        a ``False`` with a non-empty core means the assumptions were
+        responsible.  Requires a prior UNSAT :meth:`check`.
+        """
+        if self._formula_unsat is None:
+            raise RuntimeError("formula_unsat requires a prior UNSAT check()")
+        return self._formula_unsat
 
     # ------------------------------------------------------------------
     # Introspection (used by benchmarks and tests)

@@ -1,0 +1,323 @@
+"""ParallelVerificationSession must be observationally equal to the
+sequential VerificationSession.
+
+The parallel session re-routes every query through serialized session
+snapshots and worker rehydration, so these tests are really end-to-end
+checks of the whole chain: spec build → snapshot → worker restore →
+guard-name query → payload merge.  Thread-backend pools keep the
+hypothesis differentials fast (same code path, no fork cost); a couple of
+directed tests cross real process boundaries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ParallelVerificationSession,
+    SessionSpec,
+    VerificationSession,
+    sweep_queue_sizes,
+)
+from repro.core.engine import ANY_CASE_LABEL
+from repro.core.parallel import WorkerSession
+from repro.core.sizing import SizingResult
+from repro.netlib import running_example
+
+
+def _network(queue_size=2):
+    return running_example(queue_size=queue_size).network
+
+
+# ---------------------------------------------------------------------------
+# Directed equivalence
+# ---------------------------------------------------------------------------
+
+
+def test_verify_all_cases_matches_sequential_across_job_counts():
+    spec = SessionSpec(_network(), parametric_queues=True)
+    sequential = VerificationSession(spec=spec)
+    expected = sequential.verify_all_cases()
+    for jobs in (1, 2, 4):
+        with ParallelVerificationSession(
+            spec=spec, jobs=jobs, backend="thread"
+        ) as pool:
+            got = pool.verify_all_cases()
+            assert [r.verdict for r in got] == [r.verdict for r in expected]
+            # Witnesses are rebuilt parent-side from worker value slices;
+            # shape (not model identity) must match the sequential path.
+            for seq_r, par_r in zip(expected, got):
+                assert (seq_r.witness is None) == (par_r.witness is None)
+                if par_r.witness is not None:
+                    assert set(par_r.witness.queue_contents) == set(
+                        seq_r.witness.queue_contents
+                    )
+
+
+def test_process_backend_matches_thread_backend():
+    spec = SessionSpec(_network(), parametric_queues=True)
+    with ParallelVerificationSession(
+        spec=spec, jobs=2, backend="process"
+    ) as pool:
+        process_results = pool.verify_all_cases()
+        pool.resize_queues(3)
+        process_resized = pool.verify()
+    sequential = VerificationSession(spec=spec)
+    assert [r.verdict for r in process_results] == [
+        r.verdict for r in sequential.verify_all_cases()
+    ]
+    sequential.resize_queues(3)
+    assert process_resized.verdict == sequential.verify().verdict
+
+
+def test_single_query_api_parity():
+    spec = SessionSpec(_network(), parametric_queues=True)
+    sequential = VerificationSession(spec=spec)
+    with ParallelVerificationSession(
+        spec=spec, jobs=2, backend="thread"
+    ) as pool:
+        assert pool.verify().verdict == sequential.verify().verdict
+        assert (
+            pool.verify_channel("q0", "req").verdict
+            == sequential.verify_channel("q0", "req").verdict
+        )
+        for case in spec.encoding.cases:
+            assert (
+                pool.verify_case(case).verdict
+                == sequential.verify_case(case).verdict
+            ), case.label
+
+
+def test_enumeration_delegates_and_stays_consistent():
+    spec = SessionSpec(_network(), parametric_queues=True)
+    with ParallelVerificationSession(
+        spec=spec, jobs=2, backend="thread"
+    ) as pool:
+        witnesses = list(pool.enumerate_witnesses(limit=8))
+    expected = list(
+        VerificationSession(spec=spec).enumerate_witnesses(limit=8)
+    )
+    assert len(witnesses) == len(expected) >= 2
+
+
+def test_add_invariants_restarts_workers_with_strengthened_encoding():
+    with ParallelVerificationSession(
+        _network(), jobs=2, backend="thread"
+    ) as pool:
+        assert not pool.verify().deadlock_free  # block/idle only: candidate
+        pool.add_invariants()
+        result = pool.verify()
+        assert result.deadlock_free  # workers rehydrated with invariants
+        assert result.stats["invariant_count"] == len(pool.invariants) > 0
+
+
+# ---------------------------------------------------------------------------
+# Unsat-core surfacing (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_unsat_core_names_responsible_guards_sequential_and_parallel():
+    spec = SessionSpec(_network(), parametric_queues=True)
+    sequential = VerificationSession(spec=spec)
+    sequential.add_invariants()
+    result = sequential.verify()
+    assert result.deadlock_free
+    assert result.unsat_core  # non-empty: the assumptions were involved
+    assert ANY_CASE_LABEL in result.unsat_core
+    assert result.stats["formula_unsat"] is False
+    valid_labels = (
+        {ANY_CASE_LABEL}
+        | {case.label for case in spec.encoding.cases}
+        | {f"cap[{q}=={s}]" for q in sequential.queue_sizes for s in range(10)}
+    )
+    assert set(result.unsat_core) <= valid_labels
+
+    with ParallelVerificationSession(
+        spec=spec, jobs=2, backend="thread"
+    ) as pool:
+        par = pool.verify()
+    assert par.deadlock_free
+    assert ANY_CASE_LABEL in par.unsat_core
+    assert set(par.unsat_core) <= valid_labels
+
+    # Per-case query: the responsible case is named.
+    case = spec.encoding.cases[0]
+    case_result = sequential.verify_case(case)
+    assert case_result.deadlock_free
+    assert case.label in case_result.unsat_core
+
+
+def test_sat_results_carry_no_core():
+    result = VerificationSession(_network()).verify()
+    assert not result.deadlock_free
+    assert result.unsat_core is None
+
+
+# ---------------------------------------------------------------------------
+# Session snapshot round-trip (satellite): snapshot → rehydrate →
+# identical verdict, across sizes
+# ---------------------------------------------------------------------------
+
+sizes_lists = st.lists(
+    st.integers(min_value=1, max_value=4), min_size=1, max_size=3
+)
+
+
+@given(sizes=sizes_lists, with_invariants=st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_session_snapshot_rehydration_matches_session(sizes, with_invariants):
+    spec = SessionSpec(_network(), parametric_queues=True)
+    session = VerificationSession(spec=spec)
+    if with_invariants:
+        session.add_invariants()
+    worker = WorkerSession(spec.snapshot())
+    # A bare snapshot answers the as-built configuration with no parent
+    # involvement (target None = master guard, default sizes).
+    as_built = worker.check(None, want_witness=False)
+    assert (as_built[0] == "unsat") == session.verify().deadlock_free
+    for size in sizes:
+        session.resize_queues(size)
+        expected = session.verify()
+        payload = worker.check(
+            None,
+            tuple(sorted(session.queue_sizes.items())),
+            want_witness=False,
+        )
+        assert (payload[0] == "unsat") == expected.deadlock_free
+        if payload[0] == "unsat":
+            # Worker cores name the same guard vocabulary.
+            labels = {
+                spec.encoding.any_guard.name,
+                *(case.guard.name for case in spec.encoding.cases),
+                *(f"cap[{q}=={s}]" for q in session.queue_sizes for s in range(6)),
+            }
+            assert set(payload[1]) <= labels
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential: any op order, any job count
+# ---------------------------------------------------------------------------
+
+operations = st.lists(
+    st.one_of(
+        st.just(("verify",)),
+        st.just(("invariants",)),
+        st.just(("all_cases",)),
+        st.tuples(st.just("resize"), st.integers(min_value=1, max_value=4)),
+        st.tuples(st.just("case"), st.integers(min_value=0, max_value=100)),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@given(ops=operations, jobs=st.sampled_from([1, 2, 4]))
+@settings(max_examples=20, deadline=None)
+def test_parallel_equals_sequential_across_op_orders(ops, jobs):
+    spec = SessionSpec(_network(), parametric_queues=True)
+    sequential = VerificationSession(spec=spec)
+    with ParallelVerificationSession(
+        spec=spec, jobs=jobs, backend="thread"
+    ) as pool:
+        for op in ops:
+            if op[0] == "invariants":
+                sequential.add_invariants()
+                pool.add_invariants()
+            elif op[0] == "resize":
+                sequential.resize_queues(op[1])
+                pool.resize_queues(op[1])
+                assert pool.queue_sizes == sequential.queue_sizes
+            elif op[0] == "verify":
+                seq_r, par_r = sequential.verify(), pool.verify()
+                assert par_r.verdict == seq_r.verdict
+                assert (par_r.witness is None) == (seq_r.witness is None)
+            elif op[0] == "case":
+                case = spec.encoding.cases[op[1] % len(spec.encoding.cases)]
+                assert (
+                    pool.verify_case(case).verdict
+                    == sequential.verify_case(case).verdict
+                )
+            elif op[0] == "all_cases":
+                seq_all = sequential.verify_all_cases()
+                par_all = pool.verify_all_cases()
+                assert [r.verdict for r in par_all] == [
+                    r.verdict for r in seq_all
+                ]
+
+
+# ---------------------------------------------------------------------------
+# Sharded sweeps
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_sweep_matches_sequential_sweep():
+    def build(size):
+        return running_example(queue_size=size).network
+
+    sequential = sweep_queue_sizes(build, range(1, 5), jobs=1)
+    for jobs in (2, 3):
+        sharded = sweep_queue_sizes(
+            build, range(1, 5), jobs=jobs, backend="thread"
+        )
+        assert sharded.probes == sequential.probes
+        assert sharded.minimal_size == sequential.minimal_size
+        assert set(sharded.results) == set(sequential.results)
+
+
+def test_sweep_without_invariants_differs_and_still_merges():
+    def build(size):
+        return running_example(queue_size=size).network
+
+    plain = sweep_queue_sizes(
+        build, range(1, 4), jobs=2, backend="thread", use_invariants=False
+    )
+    # Block/idle alone reports candidates everywhere on this example.
+    assert plain.minimal_size is None
+    assert set(plain.probes) == {1, 2, 3}
+    assert "no deadlock-free queue size" in plain.pretty()
+
+
+def test_jobs_retargeting_sticks_without_pool_thrash():
+    with ParallelVerificationSession(
+        _network(), jobs=4, backend="thread"
+    ) as pool:
+        pool.verify_all_cases(jobs=2)
+        assert pool.jobs == 2
+        executor = pool._executor
+        pool.verify()  # default-jobs query must reuse the re-targeted pool
+        assert pool._executor is executor
+
+
+def test_worker_fork_answers_like_the_template():
+    spec = SessionSpec(_network(), parametric_queues=True)
+    template = WorkerSession(spec.snapshot())
+    forked = template.fork()
+    for target in (None, 0, len(spec.encoding.cases) - 1):
+        for size in (1, 2, 3):
+            sizes = tuple(sorted({q: size for q in spec.initial_sizes}.items()))
+            assert (
+                forked.check(target, sizes, want_witness=False)[0]
+                == template.check(target, sizes, want_witness=False)[0]
+            )
+
+
+def test_sweep_want_witness_is_consistent_across_job_counts():
+    def build(size):
+        return running_example(queue_size=size).network
+
+    for jobs in (1, 2):
+        swept = sweep_queue_sizes(
+            build, range(1, 3), jobs=jobs, backend="thread",
+            use_invariants=False, want_witness=False,
+        )
+        assert all(r.witness is None for r in swept.results.values()), jobs
+
+
+def test_sizing_merge_rejects_conflicting_verdicts():
+    free = SizingResult(minimal_size=2, probes={2: True})
+    stuck = SizingResult(minimal_size=None, probes={2: False})
+    try:
+        SizingResult.merge([free, stuck])
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("merge must reject conflicting probe verdicts")
