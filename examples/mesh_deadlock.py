@@ -28,6 +28,8 @@ def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--jobs", type=int, default=1,
                         help="answer queries on a pool of N workers")
+    parser.add_argument("--stats", action="store_true",
+                        help="print learned-clause lifecycle counters")
     args = parser.parse_args()
 
     # --- queue size 2: cross-layer deadlock --------------------------------
@@ -71,6 +73,16 @@ def main() -> None:
     assert result3.deadlock_free
     print(f"({result3.stats['invariant_count']} invariants; "
           f"solver: {result3.stats['solver']})")
+
+    if args.stats:
+        solver_stats = result3.stats["solver"]
+        print("learned-clause lifecycle (this query): "
+              + ", ".join(f"{key}={solver_stats[key]}"
+                          for key in ("learned", "reductions", "reduced",
+                                      "kept_glue")))
+        if args.jobs <= 1:
+            print(f"live learned clauses in the session: "
+                  f"{session.solver.learned_count()}")
 
     inst3 = abstract_mi_mesh(2, 2, queue_size=3)
     exploration = Explorer(inst3.network).find_deadlock(max_states=500_000)

@@ -42,6 +42,8 @@ def main() -> None:
                         help="shard a full size sweep over N pool workers")
     parser.add_argument("--max-size", type=int, default=6,
                         help="largest queue size probed with --jobs (default 6)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print learned-clause lifecycle counters per sweep")
     args = parser.parse_args()
 
     for n in range(2, args.max_mesh + 1):
@@ -62,6 +64,14 @@ def main() -> None:
                       f"{s}:{'free' if ok else 'dl'}"
                       for s, ok in sorted(sizing.probes.items())
                   ) + ")")
+            if args.stats:
+                totals = {"learned": 0, "reductions": 0, "reduced": 0,
+                          "kept_glue": 0}
+                for result in sizing.results.values():
+                    for key in totals:
+                        totals[key] += result.stats["solver"].get(key, 0)
+                print("    learned-clause lifecycle (sweep totals): "
+                      + ", ".join(f"{k}={v}" for k, v in totals.items()))
 
 
 if __name__ == "__main__":

@@ -214,10 +214,21 @@ class SessionSpec:
         for capacity in self.capacities.values():
             yield ge(capacity, 0)
 
-    def load_solver(self, max_splits: int = 100_000) -> Solver:
+    def load_solver(
+        self,
+        max_splits: int = 100_000,
+        clause_reduction: bool = True,
+        reduction_opts: Mapping | None = None,
+    ) -> Solver:
         """A fresh solver with the full encoding (and any generated
-        invariants) asserted."""
-        solver = Solver(max_splits=max_splits)
+        invariants) asserted.  ``reduction_opts`` forwards lifecycle
+        knobs (``reduce_base``, ``reduce_growth``, ``glue_keep``,
+        ``glue_cap``, ``reduce_keep``) to the solver."""
+        solver = Solver(
+            max_splits=max_splits,
+            clause_reduction=clause_reduction,
+            **dict(reduction_opts or {}),
+        )
         for term in self.base_terms():
             solver.add(term)
         if self._invariants is not None:
@@ -241,17 +252,34 @@ class SessionSpec:
                 bool_names.append(self.pool.block(out_channel, color).name)
         return tuple(int_uids), tuple(bool_names)
 
-    def snapshot(self, max_splits: int = 100_000) -> SessionSnapshot:
+    def snapshot(
+        self,
+        max_splits: int = 100_000,
+        reduction_opts: Mapping | None = None,
+    ) -> SessionSnapshot:
         """Flatten the built encoding into a :class:`SessionSnapshot`.
 
         Loads a throwaway solver (cheap relative to the build phase) and
         captures its CNF image together with the guard-name tables and
         the witness recipe.  Invariants are included iff they have been
-        generated on this spec.
+        generated on this spec.  The result is a *cold* snapshot — use
+        :meth:`VerificationSession.snapshot` to capture a live session's
+        learned clauses and phases along with it.  ``reduction_opts``
+        bakes lifecycle knobs into the snapshot so rehydrated workers run
+        the tuned policy.
         """
+        return self.wrap_solver_snapshot(
+            snapshot_solver(
+                self.load_solver(max_splits, reduction_opts=reduction_opts)
+            )
+        )
+
+    def wrap_solver_snapshot(self, solver_snapshot) -> SessionSnapshot:
+        """Bundle an already-captured solver image with this spec's guard
+        tables, witness recipe and size defaults."""
         witness_ints, witness_bools = self._witness_recipe()
         return SessionSnapshot(
-            solver=snapshot_solver(self.load_solver(max_splits)),
+            solver=solver_snapshot,
             case_guard_names=tuple(
                 case.guard.name for case in self.encoding.cases
             ),
@@ -279,6 +307,15 @@ class VerificationSession:
         ``spec`` is given — the spec already fixed them).
     max_splits:
         Branch-and-bound budget forwarded to the SMT solver, per query.
+    clause_reduction:
+        Enable the solver's learned-clause lifecycle (LBD-based database
+        reduction) so long sessions stay bounded.  ``False`` reproduces
+        the unbounded clause database of earlier revisions; verdicts are
+        identical either way.
+    reduction_opts:
+        Optional lifecycle knobs (``reduce_base``, ``reduce_growth``,
+        ``glue_keep``, ``glue_cap``, ``reduce_keep``) forwarded to the
+        solver — workload tuning for long sweeps and worker shards.
     spec:
         A prebuilt :class:`SessionSpec` to open a query session over
         without repeating the build phase.  If the spec already has
@@ -295,6 +332,8 @@ class VerificationSession:
         rotating_precision: bool = True,
         max_splits: int = 100_000,
         parametric_queues: bool = True,
+        clause_reduction: bool = True,
+        reduction_opts: Mapping | None = None,
         spec: SessionSpec | None = None,
     ):
         self.watch = Stopwatch()
@@ -322,8 +361,14 @@ class VerificationSession:
         self._guard_labels[self.encoding.any_guard.uid] = ANY_CASE_LABEL
         self._invariants: list[Invariant] = []
         self._invariants_added = False
+        self._witness_bool_names: tuple[str, ...] | None = None
+        self._last_witness_bools: dict[str, bool] | None = None
         with self.watch.phase("smt solving"):
-            self.solver = spec.load_solver(max_splits=max_splits)
+            self.solver = spec.load_solver(
+                max_splits=max_splits,
+                clause_reduction=clause_reduction,
+                reduction_opts=reduction_opts,
+            )
         if spec.invariants is not None:
             self._invariants = spec.invariants
             self._invariants_added = True
@@ -363,6 +408,50 @@ class VerificationSession:
     @property
     def queue_sizes(self) -> dict[str, int]:
         return dict(self._sizes)
+
+    # ------------------------------------------------------------------
+    # Warm-start state
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        include_learned: bool = True,
+        learned_cap: int = 4000,
+        max_lbd: int | None = None,
+    ) -> SessionSnapshot:
+        """A :class:`SessionSnapshot` of this *live* session.
+
+        Unlike :meth:`SessionSpec.snapshot` (which loads a cold throwaway
+        solver), this captures the session's own solver — including, by
+        default, its learned-clause tail and saved phases — so workers
+        rehydrated from it answer their first query without re-deriving
+        what this session already learned.
+        """
+        return self.spec.wrap_solver_snapshot(
+            snapshot_solver(
+                self.solver,
+                include_learned=include_learned,
+                learned_cap=learned_cap,
+                max_lbd=max_lbd,
+            )
+        )
+
+    def compact(self) -> int:
+        """Shed the solver's cold learnt tail now (see
+        :meth:`~repro.smt.Solver.compact`) — end-of-phase housekeeping
+        for long-lived sessions."""
+        return self.solver.compact()
+
+    def seed_phases_from_witness(self) -> int:
+        """Seed branching phases from the last witness's block booleans.
+
+        Sweeps call this between probes so each probe's search starts at
+        the previous witness (the paper's Figure-4 curve moves by one
+        capacity step; the blocking shape rarely changes wholesale).
+        No-op before the first SAT query; returns the hints applied.
+        """
+        if not self._last_witness_bools:
+            return 0
+        return self.solver.phase_hints(self._last_witness_bools)
 
     def _capacity_assumptions(self) -> list[Term]:
         if not self._parametric:
@@ -422,9 +511,13 @@ class VerificationSession:
             )
         from .proof import extract_witness
 
-        witness = extract_witness(
-            self.network, self.colors, self.pool, self.solver.model()
-        )
+        model = self.solver.model()
+        witness = extract_witness(self.network, self.colors, self.pool, model)
+        if self._witness_bool_names is None:
+            self._witness_bool_names = self.spec._witness_recipe()[1]
+        self._last_witness_bools = {
+            name: bool(model[name]) for name in self._witness_bool_names
+        }
         return VerificationResult(
             Verdict.DEADLOCK_CANDIDATE,
             witness=witness,

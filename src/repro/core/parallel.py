@@ -19,7 +19,15 @@ are independent queries over one fixed encoding.
   in its own term space;
 * merged result lists are deterministic: :meth:`verify_all_cases` returns
   results in encoding order regardless of worker completion order
-  (first-witness-stable), and sharded probes preserve submission order.
+  (first-witness-stable), and sharded probes preserve submission order;
+* workers rehydrate **warm** by default: the pool snapshot is taken from
+  a primed local session, so the parent's learned clauses (LBD-sorted,
+  capped) and saved phases travel with the CNF image and each worker's
+  first query skips the re-learning cost (``bench_warmstart.py``);
+* on one CPU — or with one worker — the pool is skipped entirely and a
+  single in-process :class:`WorkerSession` answers the same job stream,
+  so the parallel API never loses to the sequential session on machines
+  that cannot parallelise.
 
 Backends: ``"process"`` (default) runs workers in separate processes —
 real parallelism for the pure-Python solver — each rehydrating the
@@ -186,10 +194,26 @@ class WorkerSession:
             return self.check(target, sizes, want_witness)
         if kind == "shard":
             _, probes, want_witness = job
-            return [
-                self.check(target, sizes, want_witness)
-                for target, sizes in probes
-            ]
+            payloads = []
+            for target, sizes in probes:
+                payload = self.check(target, sizes, want_witness)
+                payloads.append(payload)
+                if payload[0] == "sat":
+                    # Phase-seed the next probe from this witness's block
+                    # booleans: shards walk sizes in ascending order, so
+                    # the previous blocking shape is a strong prior for
+                    # the next capacity step.  Without a witness payload
+                    # the model is still live — read the bools directly.
+                    bools = payload[2]
+                    if bools is None:
+                        model = self.solver.model()
+                        bools = {
+                            name: bool(model[name])
+                            for name in self.snapshot.witness_bool_names
+                        }
+                    if bools:
+                        self.solver.phase_hints(bools)
+            return payloads
         raise ValueError(f"unknown worker job kind {kind!r}")
 
 
@@ -229,11 +253,29 @@ class ParallelVerificationSession:
     network:
         The network to verify; ignored when ``spec`` is given.
     jobs:
-        Worker count (default: CPU count).  ``verify_all_cases(jobs=N)``
+        Worker count (default: ``os.cpu_count()``).  When the effective
+        count is 1 — explicitly, or because the machine has a single CPU —
+        queries run on an in-process :class:`WorkerSession` instead of a
+        pool, so the parallel session never regresses below the
+        sequential one on small machines.  ``verify_all_cases(jobs=N)``
         can re-target a different count per call.
     backend:
         ``"process"`` (true parallelism) or ``"thread"`` (GIL-bound, for
         tests and debugging).
+    warm_start:
+        Ship the parent's learned clauses and saved phases to workers:
+        the pool snapshot is taken from a *primed* local session (one
+        master-guard query) instead of a cold solver, so each worker's
+        first query skips the re-learning cost.  Verdicts are identical
+        either way (``benchmarks/bench_warmstart.py`` measures the win).
+    learned_cap:
+        Cap on the LBD-sorted learned-clause tail a warm snapshot ships.
+    force_pool:
+        Build a real executor even where the fallback would run inline
+        (tests and benchmarks of the pool machinery itself).
+    reduction_opts:
+        Lifecycle knobs (``reduce_base`` etc.) for the local session and,
+        via the snapshot, every worker — shard-locality tuning.
     rotating_precision, max_splits, parametric_queues, spec:
         As for :class:`~repro.core.engine.VerificationSession`.
 
@@ -250,6 +292,10 @@ class ParallelVerificationSession:
         rotating_precision: bool = True,
         max_splits: int = 100_000,
         parametric_queues: bool = True,
+        warm_start: bool = True,
+        learned_cap: int = 4000,
+        force_pool: bool = False,
+        reduction_opts: Mapping | None = None,
         spec: SessionSpec | None = None,
     ):
         if backend not in ("process", "thread"):
@@ -273,12 +319,18 @@ class ParallelVerificationSession:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         self.backend = backend
+        self.warm_start = warm_start
+        self._learned_cap = learned_cap
+        self._force_pool = force_pool
+        self._reduction_opts = dict(reduction_opts or {}) or None
         self._max_splits = max_splits
         self._parametric = spec.parametric
         self._sizes: dict[str, int] = dict(spec.initial_sizes)
         self._executor = None
         self._pool_size = 0
         self._pool_has_invariants = False
+        self._inline: WorkerSession | None = None
+        self._inline_has_invariants = False
         self._local: VerificationSession | None = None
         self._var_by_uid = {
             var.uid: var for _, var in spec.pool.state_items()
@@ -339,7 +391,7 @@ class ParallelVerificationSession:
         ):
             self._shutdown_pool()
         if self._executor is None:
-            snapshot = self.spec.snapshot(max_splits=self._max_splits)
+            snapshot = self._pool_snapshot()
             if self.backend == "process":
                 # fork inherits the parent cheaply, but only Linux runs it
                 # safely (CPython documents fork as crash-prone on macOS);
@@ -371,13 +423,53 @@ class ParallelVerificationSession:
     def _local_session(self) -> VerificationSession:
         if self._local is None:
             self._local = VerificationSession(
-                spec=self.spec, max_splits=self._max_splits
+                spec=self.spec,
+                max_splits=self._max_splits,
+                reduction_opts=self._reduction_opts,
             )
         if self.spec.invariants is not None:
             self._local.add_invariants()  # no-op once loaded
         if self._parametric:
             self._local.resize_queues(dict(self._sizes))
         return self._local
+
+    def _pool_snapshot(self) -> SessionSnapshot:
+        """The session snapshot workers rehydrate from.
+
+        With :attr:`warm_start` the snapshot comes from a *primed* local
+        session: one master-guard query forces the solver through the
+        case analysis every per-case query repeats, and the learned
+        clauses plus saved phases ship with the CNF image.  Priming is
+        incremental — rebuilding the pool (say after invariant
+        strengthening) re-primes on the already-warm local solver at
+        near-zero cost.
+        """
+        if not self.warm_start:
+            return self.spec.snapshot(
+                max_splits=self._max_splits,
+                reduction_opts=self._reduction_opts,
+            )
+        local = self._local_session()
+        local.verify()
+        return local.snapshot(
+            include_learned=True, learned_cap=self._learned_cap
+        )
+
+    def _sequential_fallback(self, want: int) -> bool:
+        """Run in-process when a pool cannot win (1 worker or 1 CPU)."""
+        return not self._force_pool and (want == 1 or default_jobs() == 1)
+
+    def _ensure_inline(self) -> WorkerSession:
+        spec_has_invariants = self.spec.invariants is not None
+        if (
+            self._inline is not None
+            and self._inline_has_invariants != spec_has_invariants
+        ):
+            self._inline = None  # stale: spec strengthened since rehydration
+        if self._inline is None:
+            self._inline = WorkerSession(self._pool_snapshot())
+            self._inline_has_invariants = spec_has_invariants
+        return self._inline
 
     # ------------------------------------------------------------------
     # Configuration (mirrors the sequential session)
@@ -460,7 +552,19 @@ class ParallelVerificationSession:
         )
 
     def _dispatch(self, jobs_list: list[Job], jobs: int | None = None, chunksize: int = 1):
-        executor = self._ensure_pool(jobs)
+        want = jobs if jobs is not None else self.jobs
+        if want < 1:
+            raise ValueError(f"jobs must be >= 1, got {want}")
+        if self._sequential_fallback(want):
+            # Same snapshot + query protocol, no pool: a single worker
+            # answers in-process, so small machines pay neither process
+            # startup nor serialization and never regress below the
+            # sequential session.
+            self.jobs = want
+            self._shutdown_pool()
+            worker = self._ensure_inline()
+            return [worker.run(job) for job in jobs_list]
+        executor = self._ensure_pool(want)
         return list(executor.map(_run_job, jobs_list, chunksize=chunksize))
 
     def verify(self) -> VerificationResult:
@@ -562,5 +666,7 @@ class ParallelVerificationSession:
             "invariant_count": len(self.spec.invariants or []),
             "jobs": self.jobs,
             "backend": self.backend,
+            "warm_start": self.warm_start,
             "pool_running": self._executor is not None,
+            "inline_worker": self._inline is not None,
         }

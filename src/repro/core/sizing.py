@@ -30,6 +30,12 @@ one rehydrated parametric session and walks its shard in ascending order,
 so every probe warm-starts on the clauses learned by the previous ones —
 the same locality the sequential sweep exploits, multiplied by the worker
 count.  Per-shard outcomes are aggregated with :meth:`SizingResult.merge`.
+
+Both walks are additionally *phase-seeded*: after a deadlocked probe the
+next probe's branching phases are initialised from the previous witness's
+blocking shape (``seed_phases_from_witness`` locally, ``phase_hints`` in
+the shard workers), so each capacity step starts its search at the model
+the last step ended on instead of from scratch.
 """
 
 from __future__ import annotations
@@ -155,6 +161,7 @@ def minimal_queue_size(
                         "queue capacities; rerun with incremental=False"
                     )
                 session.resize_queues({q.name: q.size for q in built.queues()})
+                session.seed_phases_from_witness()
                 result = session.verify()
                 probes[size] = result.deadlock_free
                 results[size] = result
@@ -261,6 +268,9 @@ def sweep_queue_sizes(
         part = SizingResult(minimal_size=None)
         for size in size_list:
             session.resize_queues(assignments[size])
+            # Ascending walk: start each probe's search at the previous
+            # witness (the shard workers do the same via phase_hints).
+            session.seed_phases_from_witness()
             result = session.verify()
             if not want_witness:
                 # Match the parallel path's payload shape: the session

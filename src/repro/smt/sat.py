@@ -17,6 +17,18 @@ the instance is unsatisfiable *because of* the assumptions, ``final_core``
 holds an inconsistent subset of them (the failed core); a root-level
 conflict leaves the core empty and marks the solver permanently UNSAT.
 
+Learnt clauses have a managed *lifecycle* (the Glucose discipline): each
+is tagged at derivation time with its LBD ("glue") — the number of
+distinct decision levels among its literals — and accumulates activity
+whenever it participates in a conflict derivation.  When the live learnt
+count crosses a geometrically growing threshold, :meth:`Cdcl.reduce_db`
+forgets the cold tail (binary and ``lbd ≤ glue_keep`` clauses are
+protected preferentially, up to ``glue_cap`` of them), so long-lived
+incremental sessions stay bounded.  :meth:`learned_clauses` exports the surviving resolvents (plus
+root-level facts) in LBD order and :meth:`import_learned` re-attaches such
+an export into another solver over the same variable numbering — the
+warm-start channel used by snapshot rehydration.
+
 The solver is deliberately self-contained (plain lists, no numpy) so its
 behaviour is easy to audit — it is part of the trusted base of the
 verification results.
@@ -72,12 +84,39 @@ def _luby(i: int) -> int:
 
 
 class Cdcl:
-    """Conflict-driven clause-learning SAT solver with theory hooks."""
+    """Conflict-driven clause-learning SAT solver with theory hooks.
 
-    def __init__(self, theory: TheoryListener | None = None):
+    ``reduction`` enables periodic clause-database reduction: once the
+    live learnt count reaches ``reduce_base`` the cold tail of the learnt
+    clauses is forgotten (the warmest ``reduce_keep`` fraction survives)
+    and the threshold grows by ``reduce_growth`` (a geometric schedule).
+    Binary clauses and clauses with ``lbd <= glue_keep`` are protected
+    *preferentially*: they are exempt from the tail cut up to
+    ``glue_cap`` of them; beyond the cap the coldest protected clauses
+    (by activity) are demoted into the ordinary tail.  The cap matters on
+    ADVOCAT's structured encodings, where shallow incremental searches
+    tag most resolvents as glue — an unconditional exemption would keep
+    the database growing linearly with session length.  Reduction is
+    purely a performance policy — it never changes verdicts, only which
+    redundant resolvents are retained.
+    """
+
+    def __init__(
+        self,
+        theory: TheoryListener | None = None,
+        reduction: bool = True,
+        reduce_base: int = 400,
+        reduce_growth: float = 1.3,
+        glue_keep: int = 2,
+        glue_cap: int | None = None,
+        reduce_keep: float = 0.5,
+    ):
         self.theory = theory
         self.n_vars = 0
         self.clauses: list[list[int]] = []
+        self._lbd: list[int] = []  # per clause; 0 = problem clause, >=1 learnt
+        self._cla_act: list[float] = []  # per clause; bumped on conflict use
+        self._cla_inc = 1.0
         self._watches: list[list[int]] = [[], []]  # indexed by literal code
         self._assign: list[int] = [0]  # 1 true, -1 false, 0 undef; index by var
         self._level: list[int] = [0]
@@ -88,11 +127,33 @@ class Cdcl:
         self._trail_lim: list[int] = []
         self._qhead = 0
         self._theory_qhead = 0
+        self._conflict_index = -1  # clause index of the last propagation conflict
         self._heap: list[tuple[float, int]] = []
         self._var_inc = 1.0
         self._ok = True
+        self.reduction = reduction
+        self.glue_keep = glue_keep
+        self.glue_cap = reduce_base if glue_cap is None else glue_cap
+        self.reduce_keep = reduce_keep
+        self._reduce_limit = max(1, reduce_base)
+        self._reduce_growth = reduce_growth
+        self._learnt_live = 0
         self.final_core: list[int] = []
-        self.stats = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0}
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "reductions": 0,
+            "reduced": 0,
+            "kept_glue": 0,
+        }
+
+    @property
+    def learned_count(self) -> int:
+        """Live learnt clauses currently attached (root facts excluded)."""
+        return self._learnt_live
 
     # ------------------------------------------------------------------
     # Construction
@@ -148,9 +209,14 @@ class Cdcl:
             return
         self._attach(filtered)
 
-    def _attach(self, lits: list[int]) -> int:
+    def _attach(self, lits: list[int], lbd: int = 0) -> int:
+        """Attach a clause; ``lbd >= 1`` marks it learnt (deletable)."""
         index = len(self.clauses)
         self.clauses.append(lits)
+        self._lbd.append(lbd)
+        self._cla_act.append(self._cla_inc if lbd else 0.0)
+        if lbd:
+            self._learnt_live += 1
         self._watches[self._code(-lits[0])].append(index)
         self._watches[self._code(-lits[1])].append(index)
         return index
@@ -226,6 +292,7 @@ class Cdcl:
                 if self._value(first) == -1:
                     kept.extend(watch_list[position + 1 :])
                     conflict = clause
+                    self._conflict_index = clause_index
                     break
                 self._enqueue(first, clause_index)
             self._watches[code] = kept
@@ -256,6 +323,18 @@ class Cdcl:
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
         heappush(self._heap, (-self._activity[var], var))
+
+    def _bump_clause(self, index: int) -> None:
+        self._cla_act[index] += self._cla_inc
+        if self._cla_act[index] > 1e20:
+            for i, act in enumerate(self._cla_act):
+                if act:
+                    self._cla_act[i] = act * 1e-20
+            self._cla_inc *= 1e-20
+
+    def _compute_lbd(self, lits: Sequence[int]) -> int:
+        """Distinct decision levels among ``lits`` (all currently assigned)."""
+        return max(1, len({self._level[abs(lit)] for lit in lits}))
 
     def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
         """First-UIP analysis.  ``conflict`` literals are all false.
@@ -293,6 +372,8 @@ class Cdcl:
                 asserting_lit = -p
                 break
             reason_index = self._reason[var]
+            if self._lbd[reason_index]:
+                self._bump_clause(reason_index)
             reason_lits = [l for l in self.clauses[reason_index] if l != p]
         learnt.insert(0, asserting_lit)
         # Conflict-clause minimisation: drop literals implied by the rest.
@@ -376,6 +457,238 @@ class Cdcl:
         return False
 
     # ------------------------------------------------------------------
+    # Learned-clause lifecycle
+    # ------------------------------------------------------------------
+    def _root_boundary(self) -> int:
+        """Trail length of the level-0 prefix (permanent facts)."""
+        return self._trail_lim[0] if self._trail_lim else len(self._trail)
+
+    def reduce_db(self) -> int:
+        """Forget the cold half of the non-glue learnt clauses.
+
+        Must be called at decision level 0 with propagation at fixpoint
+        (the solver calls it right after restart/solve-entry backjumps).
+        Keeps every problem clause; learnt binaries and ``lbd <=
+        glue_keep`` clauses are protected up to ``glue_cap`` (beyond it
+        the coldest are demoted by activity); the remaining tail is
+        sorted coldest-first by (activity, then LBD as tiebreak) and only
+        the warmest ``reduce_keep`` fraction survives, with
+        root-satisfied learnt clauses always dropped.  Returns the number
+        of clauses deleted.
+        """
+        assert self.decision_level == 0, "reduce_db() needs the root level"
+        # Root-level assignments are permanent facts; conflict analysis
+        # never walks below level 0, so their reasons can be forgotten —
+        # which unlocks every clause for deletion and remapping.
+        for lit in self._trail:
+            self._reason[abs(lit)] = -1
+        keep: list[int] = []
+        candidates: list[int] = []
+        protected: list[int] = []
+        for index, lits in enumerate(self.clauses):
+            lbd = self._lbd[index]
+            if lbd == 0:
+                keep.append(index)
+            elif any(self._value(lit) == 1 for lit in lits):
+                continue  # permanently satisfied at root: dead weight
+            elif len(lits) <= 2 or lbd <= self.glue_keep:
+                protected.append(index)
+            else:
+                candidates.append(index)
+        if len(protected) > self.glue_cap:
+            # Protection is a priority, not a blank cheque: on these
+            # structured encodings most resolvents come out glue-tagged,
+            # so the coldest protected clauses re-join the ordinary tail.
+            protected.sort(key=lambda i: self._cla_act[i], reverse=True)
+            candidates.extend(protected[self.glue_cap :])
+            del protected[self.glue_cap :]
+        kept_glue = len(protected)
+        keep.extend(protected)
+        # Coldest first: lowest activity, ties broken toward dropping
+        # high-LBD clauses.  Keep the warmest ``reduce_keep`` fraction.
+        candidates.sort(key=lambda i: (self._cla_act[i], -self._lbd[i]))
+        cut = len(candidates) - int(len(candidates) * self.reduce_keep)
+        keep.extend(candidates[cut:])
+        keep.sort()
+        deleted = len(self.clauses) - len(keep)
+        if deleted == 0:
+            self.stats["reductions"] += 1
+            self.stats["kept_glue"] += kept_glue
+            self._reduce_limit = int(self._reduce_limit * self._reduce_growth) + 1
+            return 0
+        new_clauses: list[list[int]] = []
+        new_lbd: list[int] = []
+        new_act: list[float] = []
+        for old in keep:
+            lits = self.clauses[old]
+            # Watches must sit on non-false literals (false-at-root stays
+            # false forever, so a clause watched there would never wake).
+            # Propagation is at fixpoint, so every kept unsatisfied clause
+            # has >= 2 non-false literals.
+            lits.sort(key=lambda l: self._value(l) == -1)
+            new_clauses.append(lits)
+            new_lbd.append(self._lbd[old])
+            new_act.append(self._cla_act[old])
+        self.clauses = new_clauses
+        self._lbd = new_lbd
+        self._cla_act = new_act
+        self._learnt_live = sum(1 for lbd in new_lbd if lbd)
+        self._watches = [[] for _ in range(2 * self.n_vars + 2)]
+        for index, lits in enumerate(self.clauses):
+            self._watches[self._code(-lits[0])].append(index)
+            self._watches[self._code(-lits[1])].append(index)
+        self.stats["reductions"] += 1
+        self.stats["reduced"] += deleted
+        self.stats["kept_glue"] += kept_glue
+        self._reduce_limit = int(self._reduce_limit * self._reduce_growth) + 1
+        return deleted
+
+    def _maybe_reduce(self) -> None:
+        if self.reduction and self._learnt_live >= self._reduce_limit:
+            self.reduce_db()
+
+    def compact(self) -> int:
+        """Force one reduction now (e.g. before idling or snapshotting).
+
+        Brings the solver to the root level and propagation to fixpoint
+        first; works even with periodic ``reduction`` disabled.  Returns
+        the number of clauses deleted (0 when a root conflict makes the
+        instance permanently UNSAT instead).
+        """
+        if not self._ok:
+            return 0
+        self._backjump(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return 0
+        if self.theory is not None and self._theory_sync() is not None:
+            self._ok = False
+            return 0
+        return self.reduce_db()
+
+    def learned_clauses(
+        self, cap: int | None = None, max_lbd: int | None = None
+    ) -> tuple[tuple[int, tuple[int, ...]], ...]:
+        """The learnt state as ``(lbd, literals)`` pairs, best-glue first.
+
+        Root-level facts are exported as LBD-1 units ahead of the attached
+        learnt clauses (sorted by LBD, then length).  Everything exported
+        is a resolvent of the clause database plus theory lemmas — valid
+        for any solver over the *same* formula and variable numbering, and
+        independent of any assumption set (assumptions are decided above
+        the root).  ``cap`` truncates the export, ``max_lbd`` filters it.
+        """
+        exported: list[tuple[int, tuple[int, ...]]] = [
+            (1, (lit,)) for lit in self._trail[: self._root_boundary()]
+        ]
+        learnt = sorted(
+            (
+                (self._lbd[i], tuple(self.clauses[i]))
+                for i in range(len(self.clauses))
+                if self._lbd[i]
+            ),
+            key=lambda item: (item[0], len(item[1])),
+        )
+        if max_lbd is not None:
+            learnt = [item for item in learnt if item[0] <= max_lbd]
+        exported.extend(learnt)
+        if cap is not None:
+            exported = exported[:cap]
+        return tuple(exported)
+
+    def import_learned(
+        self,
+        clauses: Iterable[tuple[int, Sequence[int]]],
+        demote_to: int | None = None,
+    ) -> int:
+        """Re-attach an export of :meth:`learned_clauses` (sound resolvents).
+
+        The caller vouches that every clause is a consequence of this
+        solver's formula (true of a parent solver's export over the same
+        CNF image).  Clauses are filtered like :meth:`add_clause` — root-
+        satisfied ones are dropped, root-false literals removed — then
+        attached as learnt with their shipped LBD, so a later reduction
+        treats them exactly like locally derived clauses.
+
+        ``demote_to`` floors the stored LBD of non-binary imports: glue
+        status is trajectory-local, so a rehydrated worker imports the
+        parent's tail as an evictable cache (``demote_to = glue_keep+1``)
+        rather than inheriting its "keep forever" promises — clauses the
+        local query mix actually uses earn their keep through activity.
+        Returns how many clauses were retained (units included).
+        """
+        self._backjump(0)
+        imported = 0
+        for lbd, lits in clauses:
+            if not self._ok:
+                break
+            if any(abs(lit) > self.n_vars for lit in lits):
+                # Importing across diverged variable numberings is unsound
+                # (split atoms are minted per trajectory) — only exports
+                # over this solver's own CNF image are accepted.
+                raise ValueError(
+                    "imported clause references a variable this solver "
+                    "never minted; import only exports taken over the "
+                    "same CNF image (fork at rest, snapshot/restore)"
+                )
+            seen: set[int] = set()
+            filtered: list[int] = []
+            satisfied = False
+            for lit in lits:
+                if lit in seen:
+                    continue
+                if -lit in seen:
+                    satisfied = True  # tautology
+                    break
+                value = self._value(lit)
+                if value == 1:
+                    satisfied = True
+                    break
+                if value == -1:
+                    continue
+                seen.add(lit)
+                filtered.append(lit)
+            if satisfied:
+                continue
+            if not filtered:
+                self._ok = False
+                break
+            if len(filtered) == 1:
+                if not self._enqueue(filtered[0], -1):
+                    self._ok = False
+                    break
+            else:
+                stored = max(1, min(int(lbd), len(filtered)))
+                if demote_to is not None and len(filtered) > 2:
+                    stored = max(stored, demote_to)
+                self._attach(filtered, lbd=stored)
+            imported += 1
+        self.stats["learned"] += imported
+        return imported
+
+    # ------------------------------------------------------------------
+    # Saved phases
+    # ------------------------------------------------------------------
+    def phase_vector(self) -> tuple[bool, ...]:
+        """The saved phase of every variable, in variable order."""
+        return tuple(self._phase[1 : self.n_vars + 1])
+
+    def seed_phases(self, phases: Sequence[bool]) -> None:
+        """Overwrite saved phases from a :meth:`phase_vector` export.
+
+        Phases only steer branching order — seeding is always sound and
+        is how warm snapshots make a fresh solver search near the parent's
+        (or a previous probe's) last model first.
+        """
+        limit = min(len(phases), self.n_vars)
+        for var in range(1, limit + 1):
+            self._phase[var] = bool(phases[var - 1])
+
+    def set_phase(self, var: int, phase: bool) -> None:
+        if 1 <= var <= self.n_vars:
+            self._phase[var] = bool(phase)
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def solve(
@@ -394,6 +707,17 @@ class Cdcl:
         if not self._ok:
             return UNSAT
         self._backjump(0)
+        if self.reduction and self._learnt_live >= self._reduce_limit:
+            # Reduce between queries: bring root propagation to fixpoint
+            # first (reduce_db's precondition; clauses added since the
+            # last call may still have pending root units).
+            if self._propagate() is not None:
+                self._ok = False
+                return UNSAT
+            if self.theory is not None and self._theory_sync() is not None:
+                self._ok = False
+                return UNSAT
+            self.reduce_db()
         restart_unit = 128
         restart_count = 0
         budget = _luby(restart_count + 1) * restart_unit
@@ -404,6 +728,8 @@ class Cdcl:
                 conflict_lits = self._theory_sync()
             else:
                 conflict_lits = conflict
+                if self._lbd[self._conflict_index]:
+                    self._bump_clause(self._conflict_index)
             if conflict_lits is not None:
                 self.stats["conflicts"] += 1
                 conflicts_here += 1
@@ -419,15 +745,18 @@ class Cdcl:
                 if top < self.decision_level:
                     self._backjump(top)
                 learnt, back_level = self._analyze(conflict_lits)
+                lbd = self._compute_lbd(learnt)
                 self._backjump(back_level)
+                self.stats["learned"] += 1
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], -1):
                         self._ok = False
                         return UNSAT
                 else:
-                    index = self._attach(learnt)
+                    index = self._attach(learnt, lbd=lbd)
                     self._enqueue(learnt[0], index)
                 self._var_inc /= 0.95
+                self._cla_inc /= 0.999
                 continue
             if conflicts_here >= budget:
                 self.stats["restarts"] += 1
@@ -435,6 +764,7 @@ class Cdcl:
                 budget = _luby(restart_count + 1) * restart_unit
                 conflicts_here = 0
                 self._backjump(0)
+                self._maybe_reduce()
                 continue
             if self.decision_level < len(assumptions):
                 # Re-assert the next pending assumption as a decision.
@@ -467,13 +797,15 @@ class Cdcl:
                             return UNSAT
                         self._backjump(top)
                         learnt, back_level = self._analyze(conflict_lits)
+                        lbd = self._compute_lbd(learnt)
                         self._backjump(back_level)
+                        self.stats["learned"] += 1
                         if len(learnt) == 1:
                             if not self._enqueue(learnt[0], -1):
                                 self._ok = False
                                 return UNSAT
                         else:
-                            index = self._attach(learnt)
+                            index = self._attach(learnt, lbd=lbd)
                             self._enqueue(learnt[0], index)
                         continue
                 return SAT

@@ -23,20 +23,27 @@ shipping a term.  New arithmetic over the *restored* ``IntVar`` objects
 (returned in the uid map) composes with snapshot constraints exactly like
 new arithmetic in the original solver would.
 
-Learned clauses are deliberately not captured: they are redundant, and the
-snapshot is taken once per session build while workers re-learn what their
-own query mix needs (see ROADMAP: per-worker clause-database reduction).
+Learned clauses *can* travel too (``include_learned``): the CDCL core's
+export is LBD-sorted ``(lbd, literals)`` tuples over the same variable
+numbering the CNF image preserves, so re-attaching them on the restored
+side is sound — every exported clause is a resolvent of the snapshotted
+formula plus LIA-valid lemmas (branch-and-bound splits, theory
+conflicts).  Together with the saved phase vector this is the *warm
+snapshot*: a restored worker starts with the parent's deductions and
+branching preferences instead of re-deriving them on its first query.
+Cold snapshots (the default for :meth:`SessionSpec.snapshot`) simply ship
+empty ``learned``/``phases`` fields.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .terms import IntVar, LinearAtom
 
 __all__ = ["SolverSnapshot", "snapshot_solver", "restore_solver"]
 
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -59,15 +66,35 @@ class SolverSnapshot:
     int_vars: tuple[tuple[int, str], ...]  # (original uid, name)
     atoms: tuple[tuple[int, tuple[tuple[int, int], ...], int], ...]
     # each atom: (SAT var, ((int var uid, coeff), ...), bound)
+    # Warm-start payload (empty on cold snapshots): the CDCL core's
+    # learned-clause export as (lbd, literals) pairs, its saved phase
+    # vector (0/1 per SAT var), and the reduction policy to restore with
+    # — the enable flag plus the tuning knobs (reduce_base etc.), so a
+    # worker runs the same lifecycle policy the parent was tuned to.
+    learned: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    phases: tuple[int, ...] = ()
+    reduction: bool = field(default=True)
+    reduction_knobs: tuple[tuple[str, float], ...] = ()
 
 
-def snapshot_solver(solver) -> SolverSnapshot:
+def snapshot_solver(
+    solver,
+    include_learned: bool = False,
+    learned_cap: int = 4000,
+    max_lbd: int | None = None,
+) -> SolverSnapshot:
     """Capture ``solver``'s base-level assertions as plain data.
 
     Requires all :meth:`~repro.smt.Solver.push` scopes to be closed — a
     snapshot has no way to mark a scope "still open" on the other side.
     Clauses of *popped* scopes are captured as-is (they carry a retired
     selector literal and stay permanently satisfied, same as locally).
+
+    ``include_learned`` additionally captures the learned-clause tail
+    (LBD-sorted, at most ``learned_cap`` clauses, optionally filtered to
+    ``max_lbd``) and the saved phase vector, producing a *warm* snapshot:
+    a solver restored from it starts with every deduction and branching
+    preference the captured solver had accumulated.
     """
     if solver.scope_depth:
         raise ValueError(
@@ -83,6 +110,11 @@ def snapshot_solver(solver) -> SolverSnapshot:
         atoms.append(
             (satvar, tuple((v.uid, c) for v, c in atom.coeffs), atom.bound)
         )
+    learned: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    phases: tuple[int, ...] = ()
+    if include_learned:
+        learned = solver.learned_clauses(cap=learned_cap, max_lbd=max_lbd)
+        phases = tuple(int(p) for p in solver.saved_phases())
     return SolverSnapshot(
         version=SNAPSHOT_VERSION,
         max_splits=solver._max_splits,
@@ -95,6 +127,14 @@ def snapshot_solver(solver) -> SolverSnapshot:
         # relative order and re-normalised atoms hash onto restored ones.
         int_vars=tuple(sorted(int_vars.items())),
         atoms=tuple(atoms),
+        learned=learned,
+        phases=phases,
+        reduction=solver._reduction_knobs["reduction"],
+        reduction_knobs=tuple(
+            (name, value)
+            for name, value in solver._reduction_knobs.items()
+            if name != "reduction" and value is not None
+        ),
     )
 
 
@@ -114,7 +154,11 @@ def restore_solver(snapshot: SolverSnapshot):
             f"snapshot version {snapshot.version} is not supported "
             f"(expected {SNAPSHOT_VERSION})"
         )
-    solver = Solver(max_splits=snapshot.max_splits)
+    solver = Solver(
+        max_splits=snapshot.max_splits,
+        clause_reduction=snapshot.reduction,
+        **{name: value for name, value in snapshot.reduction_knobs},
+    )
     cnf = solver._cnf
     cnf.n_vars = snapshot.n_vars
     cnf.clauses = [list(clause) for clause in snapshot.clauses]
@@ -125,4 +169,20 @@ def restore_solver(snapshot: SolverSnapshot):
         atom = LinearAtom(tuple((ints[uid], c) for uid, c in coeffs), bound)
         cnf.atom_of_var[satvar] = atom
         cnf.var_of_atom[atom] = satvar
+    if snapshot.phases or snapshot.learned:
+        # Warm start: the export references the snapshot's variable
+        # numbering, which the CNF image preserves verbatim, so phases
+        # seed and resolvents re-attach before the first query flushes
+        # the formula into the core.
+        solver._sat.ensure_vars(snapshot.n_vars)
+        if snapshot.phases:
+            solver._sat.seed_phases(snapshot.phases)
+        if snapshot.learned:
+            # Demote non-binary imports below glue protection: the
+            # parent's "hot" is not this worker's "hot" (shard locality);
+            # what the local query mix uses re-earns activity, the rest
+            # is evictable by the first reduction.
+            solver._sat.import_learned(
+                snapshot.learned, demote_to=solver._sat.glue_keep + 1
+            )
     return solver, ints

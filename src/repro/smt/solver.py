@@ -111,13 +111,37 @@ class Model:
 
 
 class Solver:
-    """Incremental QF_LIA solver over the repro term language."""
+    """Incremental QF_LIA solver over the repro term language.
 
-    def __init__(self, max_splits: int = 100_000):
+    ``clause_reduction`` (with the ``reduce_base`` / ``reduce_growth`` /
+    ``glue_keep`` knobs) controls the learned-clause lifecycle of the CDCL
+    core — see :class:`~repro.smt.sat.Cdcl`.  Reduction never changes
+    verdicts; disabling it reproduces the unbounded clause database of
+    earlier revisions (measured by ``benchmarks/bench_warmstart.py``).
+    """
+
+    def __init__(
+        self,
+        max_splits: int = 100_000,
+        clause_reduction: bool = True,
+        reduce_base: int = 400,
+        reduce_growth: float = 1.3,
+        glue_keep: int = 2,
+        glue_cap: int | None = None,
+        reduce_keep: float = 0.5,
+    ):
         self._max_splits = max_splits
+        self._reduction_knobs = dict(
+            reduction=clause_reduction,
+            reduce_base=reduce_base,
+            reduce_growth=reduce_growth,
+            glue_keep=glue_keep,
+            glue_cap=glue_cap,
+            reduce_keep=reduce_keep,
+        )
         self._cnf = CnfBuilder()
         self._bridge = LiaBridge()
-        self._sat = Cdcl(theory=self._bridge)
+        self._sat = Cdcl(theory=self._bridge, **self._reduction_knobs)
         self._flushed_clauses = 0
         self._registered_atoms = 0
         self._scopes: list[int] = []  # selector SAT variables, innermost last
@@ -134,21 +158,52 @@ class Solver:
 
         The CNF state (clauses, variable tables, scope stack) is copied;
         the clone gets a fresh CDCL core and theory bridge, populated
-        lazily on its first :meth:`check`.  Learned clauses are *not*
-        carried over — each fork re-learns what its own query mix needs.
-        Forks share immutable term objects with the original, so they are
-        thread-cloning tools; use :meth:`snapshot` to cross processes.
+        lazily on its first :meth:`check`.  The learned-clause export and
+        saved phases carry over (demoted below glue protection, like a
+        snapshot restore), so a fork starts warm but evicts what its own
+        query mix doesn't re-use.  Forks share immutable term objects
+        with the original, so they are thread-cloning tools; use
+        :meth:`snapshot` to cross processes.
         """
-        clone = Solver(max_splits=self._max_splits)
+        clone = Solver(max_splits=self._max_splits, **self._fork_kwargs())
         clone._cnf = self._cnf.clone()
         clone._scopes = list(self._scopes)
+        clone._sat.ensure_vars(clone._cnf.n_vars)
+        clone._sat.seed_phases(self._sat.phase_vector())
+        clone._sat.import_learned(
+            self._sat.learned_clauses(),
+            demote_to=clone._sat.glue_keep + 1,
+        )
         return clone
 
-    def snapshot(self):
-        """A pickle-safe :class:`~repro.smt.serialize.SolverSnapshot`."""
+    def _fork_kwargs(self) -> dict:
+        knobs = dict(self._reduction_knobs)
+        knobs["clause_reduction"] = knobs.pop("reduction")
+        return knobs
+
+    def snapshot(
+        self,
+        include_learned: bool = False,
+        learned_cap: int = 4000,
+        max_lbd: int | None = None,
+    ):
+        """A pickle-safe :class:`~repro.smt.serialize.SolverSnapshot`.
+
+        With ``include_learned`` the snapshot additionally carries the
+        CDCL core's learned-clause export (LBD-sorted, capped at
+        ``learned_cap``) and its saved phase vector, so a solver restored
+        from it starts *warm*: the first query replays none of the work
+        this solver already did.  Sound because every exported clause is a
+        resolvent of the snapshotted formula (plus LIA-valid lemmas).
+        """
         from .serialize import snapshot_solver
 
-        return snapshot_solver(self)
+        return snapshot_solver(
+            self,
+            include_learned=include_learned,
+            learned_cap=learned_cap,
+            max_lbd=max_lbd,
+        )
 
     @classmethod
     def from_snapshot(cls, snapshot) -> "Solver":
@@ -367,8 +422,71 @@ class Solver:
         return self._formula_unsat
 
     # ------------------------------------------------------------------
+    # Learned-clause lifecycle and saved phases
+    # ------------------------------------------------------------------
+    def learned_clauses(
+        self, cap: int | None = None, max_lbd: int | None = None
+    ) -> tuple[tuple[int, tuple[int, ...]], ...]:
+        """LBD-sorted ``(lbd, literals)`` export of the learnt state."""
+        return self._sat.learned_clauses(cap=cap, max_lbd=max_lbd)
+
+    def import_learned(
+        self,
+        clauses: Sequence[tuple[int, Sequence[int]]],
+        demote_to: int | None = None,
+    ) -> int:
+        """Attach another solver's :meth:`learned_clauses` export.
+
+        Only sound when the clauses are consequences of *this* solver's
+        asserted formula — true for an export taken from a solver over the
+        same CNF image (fork, snapshot/restore).  ``demote_to`` floors the
+        stored LBD of non-binary imports so they stay evictable (see
+        :meth:`~repro.smt.sat.Cdcl.import_learned`).  Returns the number
+        of clauses retained.
+        """
+        self._sync()  # imported literals must reference existing SAT vars
+        return self._sat.import_learned(clauses, demote_to=demote_to)
+
+    def compact(self) -> int:
+        """Run one clause-database reduction now (session housekeeping).
+
+        Long-lived sessions call this between workload phases or before
+        :meth:`snapshot` to shed the cold learnt tail immediately instead
+        of waiting for the geometric schedule.  Returns clauses deleted.
+        """
+        self._sync()
+        return self._sat.compact()
+
+    def saved_phases(self) -> tuple[bool, ...]:
+        """The CDCL core's saved phase per SAT variable."""
+        return self._sat.phase_vector()
+
+    def seed_phases(self, phases: Sequence[bool]) -> None:
+        """Seed branching phases from a :meth:`saved_phases` export."""
+        self._sync()
+        self._sat.seed_phases(phases)
+
+    def phase_hints(self, hints: dict[str, bool]) -> int:
+        """Seed phases of *named* boolean variables (e.g. a previous
+        witness's block booleans), steering the next search toward that
+        model first.  Unknown names are ignored; returns how many were
+        applied."""
+        self._sync()
+        applied = 0
+        for name, value in hints.items():
+            var = self._cnf.var_of_boolname.get(name)
+            if var is not None and var <= self._sat.n_vars:
+                self._sat.set_phase(var, bool(value))
+                applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
     # Introspection (used by benchmarks and tests)
     # ------------------------------------------------------------------
     def clause_count(self) -> int:
         """Clauses in the CDCL core, including learned ones."""
         return len(self._sat.clauses)
+
+    def learned_count(self) -> int:
+        """Live learnt clauses currently attached in the CDCL core."""
+        return self._sat.learned_count

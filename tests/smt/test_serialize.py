@@ -169,7 +169,18 @@ def test_snapshot_preserves_popped_scope_retractions():
 # The early-UNSAT short-circuit contract (satellite fix)
 # ---------------------------------------------------------------------------
 
-CANONICAL_STAT_KEYS = {"conflicts", "decisions", "propagations", "restarts", "splits"}
+CANONICAL_STAT_KEYS = {
+    "conflicts",
+    "decisions",
+    "propagations",
+    "restarts",
+    # Learned-clause lifecycle counters (stable since PR 3).
+    "learned",
+    "reductions",
+    "reduced",
+    "kept_glue",
+    "splits",
+}
 
 
 def test_early_unsat_zeroes_all_stat_keys_and_flags_formula():
