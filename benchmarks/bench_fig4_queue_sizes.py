@@ -2,6 +2,11 @@
 
 Regenerates the Figure-4 grid for 2×2 and 3×3 meshes (4×4 behind the
 ``ADVOCAT_BIG`` environment variable — several minutes in pure Python).
+Each mesh's directory-position row is declared as an experiment grid
+(:class:`repro.core.Experiment`) and answered by the deterministic
+``jobs=1`` scheduler, so the reported numbers are exactly what the sharded
+drivers (``examples/queue_sizing.py --jobs N``,
+``benchmarks/bench_experiments.py``) must reproduce byte-for-byte.
 
 Shape expectations: minimal size grows with mesh size; in this
 reproduction's single-ejection-queue router the directory position does
@@ -13,21 +18,27 @@ import os
 
 from conftest import report
 
-from repro.core import minimal_queue_size
-from repro.protocols import abstract_mi_mesh
+from repro.core import Experiment, ScenarioSpec
+from repro.fabrics import octant_positions
 
 
 def _sweep(n: int) -> dict[tuple[int, int], int]:
-    sizes = {}
-    for y in range((n + 1) // 2):
-        for x in range(y, (n + 1) // 2):
-            sizing = minimal_queue_size(
-                lambda q, p=(x, y): abstract_mi_mesh(
-                    n, n, queue_size=q, directory_node=p
-                ).network
+    experiment = Experiment(
+        f"fig4-{n}x{n}",
+        [
+            ScenarioSpec(
+                builder="abstract_mi_mesh",
+                kwargs={"width": n, "height": n, "directory_node": pos},
+                mode="search",
             )
-            sizes[(x, y)] = sizing.minimal_size
-    return sizes
+            for pos in octant_positions(n, n)
+        ],
+    )
+    result = experiment.run(jobs=1)
+    return {
+        pos: scenario.minimal_size
+        for pos, scenario in zip(octant_positions(n, n), result.scenarios)
+    }
 
 
 def test_fig4_2x2(benchmark):

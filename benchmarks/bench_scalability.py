@@ -4,9 +4,12 @@ The paper reports, for a 6×6 mesh with VCs and queue size 30: 67 seconds,
 2844 primitives, 36 automata, 432 queues — and notes that verification
 time does not depend on the queue size.
 
-This benchmark regenerates both series at reproduction scale: model-size
-counters and end-to-end verification time per mesh size, plus the
-queue-size-independence check.  (Python vs the authors' native stack makes
+This benchmark regenerates both series at reproduction scale on the
+experiment layer: the mesh axis is an :class:`repro.core.Experiment` grid
+(one :class:`~repro.core.ScenarioSpec` per topology, single-size sweeps so
+per-scenario ``build_seconds``/``query_seconds`` splits come out of the
+result), and model-size counters come from the same ``ScenarioSpec``
+descriptions the grid runs.  (Python vs the authors' native stack makes
 absolute times incomparable; the shape — polynomial growth in mesh size,
 flat in queue size — is the reproduction target.)
 """
@@ -15,8 +18,20 @@ import os
 
 from conftest import report
 
-from repro import verify
-from repro.protocols import abstract_mi_mesh
+from repro.core import Experiment, ScenarioSpec
+
+
+def _mesh_spec(width: int, height: int, queue_size: int, vcs: int = 1,
+               invariants: str = "eager") -> ScenarioSpec:
+    return ScenarioSpec(
+        builder="abstract_mi_mesh",
+        kwargs={"width": width, "height": height, "vcs": vcs},
+        mode="sweep",
+        sizes=(queue_size,),
+        invariants=invariants,
+        label=f"{width}x{height} q{queue_size}"
+              + (f" {vcs}VC" if vcs > 1 else ""),
+    )
 
 
 def test_model_size_scaling(benchmark):
@@ -26,8 +41,13 @@ def test_model_size_scaling(benchmark):
         if os.environ.get("ADVOCAT_BIG"):
             meshes += [(4, 4), (6, 6)]
         for width, height in meshes:
-            inst = abstract_mi_mesh(width, height, queue_size=3, vcs=2)
-            stats = inst.network.stats()
+            # The scenario *describes* the build; materialise it here.
+            network = ScenarioSpec(
+                builder="abstract_mi_mesh",
+                kwargs={"width": width, "height": height,
+                        "queue_size": 3, "vcs": 2},
+            ).build()
+            stats = network.stats()
             rows.append(
                 f"{width}x{height} (2 VCs): {stats['primitives']} primitives, "
                 f"{stats['automata']} automata, {stats['queues']} queues"
@@ -43,40 +63,40 @@ def test_model_size_scaling(benchmark):
 
 
 def test_verification_time_scaling(benchmark):
-    import time
+    experiment = Experiment(
+        "scalability-mesh-axis",
+        [_mesh_spec(w, h, queue_size=3) for w, h in ((2, 2), (2, 3), (3, 3))],
+    )
 
     def measure():
-        rows = []
-        for width, height in ((2, 2), (2, 3), (3, 3)):
-            inst = abstract_mi_mesh(width, height, queue_size=3)
-            start = time.perf_counter()
-            result = verify(inst.network)
-            elapsed = time.perf_counter() - start
-            rows.append(
-                f"{width}x{height}: {elapsed:.2f}s -> {result.verdict.value} "
-                f"({result.stats['invariant_count']} invariants)"
-            )
-        return rows
+        result = experiment.run(jobs=1)
+        return [
+            f"{scenario.label}: build {scenario.build_seconds:.2f}s + "
+            f"query {scenario.query_seconds:.2f}s -> "
+            f"{'deadlock_free' if scenario.probes[3] else 'deadlock_candidate'}"
+            for scenario in result.scenarios
+        ]
 
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)
     report("E7: verification time vs mesh size", rows)
 
 
 def test_runtime_independent_of_queue_size(benchmark):
-    import time
+    experiment = Experiment(
+        "scalability-queue-axis",
+        [_mesh_spec(2, 2, queue_size=size) for size in (3, 10, 30)],
+    )
 
     def measure():
-        rows = []
-        times = {}
-        for queue_size in (3, 10, 30):
-            inst = abstract_mi_mesh(2, 2, queue_size=queue_size)
-            start = time.perf_counter()
-            result = verify(inst.network)
-            times[queue_size] = time.perf_counter() - start
-            rows.append(
-                f"queue size {queue_size}: {times[queue_size]:.2f}s "
-                f"-> {result.verdict.value}"
+        result = experiment.run(jobs=1)
+        rows, times = [], {}
+        for size, scenario in zip((3, 10, 30), result.scenarios):
+            times[size] = scenario.query_seconds
+            verdict = (
+                "deadlock_free" if scenario.probes[size]
+                else "deadlock_candidate"
             )
+            rows.append(f"queue size {size}: {times[size]:.2f}s -> {verdict}")
         return rows, times
 
     rows, times = benchmark.pedantic(measure, rounds=1, iterations=1)

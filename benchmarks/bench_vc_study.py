@@ -4,13 +4,14 @@ Regenerates the paper's VC claims: adding request/response VCs does not
 remove the cross-layer deadlock; per-VC minimal queue sizes are compared
 against the no-VC case (the paper's 6×6 numbers are 29 with VCs vs 58
 without; at reproduction scale the effect is visible as "per-VC minimum ≤
-no-VC minimum").
+no-VC minimum").  The sizing comparison runs as a two-point experiment
+grid over the ``vcs`` axis (:class:`repro.core.Experiment`).
 """
 
 from conftest import report
 
 from repro import verify
-from repro.core import minimal_queue_size
+from repro.core import Experiment
 from repro.protocols import abstract_mi_mesh
 
 
@@ -27,16 +28,20 @@ def test_deadlock_survives_vcs(benchmark):
 
 
 def test_minimal_sizes_with_and_without_vcs(benchmark):
+    experiment = Experiment.grid(
+        "vc-study",
+        "abstract_mi_mesh",
+        axes={"vcs": [1, 2]},
+        base={"width": 2, "height": 2},
+        mode="search",
+    )
+
     def sweep():
-        sizes = {}
-        for vcs in (1, 2):
-            sizing = minimal_queue_size(
-                lambda q, v=vcs: abstract_mi_mesh(
-                    2, 2, queue_size=q, vcs=v
-                ).network
-            )
-            sizes[vcs] = sizing.minimal_size
-        return sizes
+        result = experiment.run(jobs=1)
+        return {
+            vcs: scenario.minimal_size
+            for vcs, scenario in zip((1, 2), result.scenarios)
+        }
 
     sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
     report(

@@ -36,53 +36,56 @@ def main() -> None:
     inst = abstract_mi_mesh(2, 2, queue_size=2)
     print(f"2x2 mesh, queue size 2: {inst.network.stats()}")
     if args.jobs > 1:
-        session = ParallelVerificationSession(
+        make_session = ParallelVerificationSession(
             inst.network, jobs=args.jobs, parametric_queues=True
         )
         print(f"(parallel session, {args.jobs} workers)")
     else:
-        session = VerificationSession(inst.network, parametric_queues=True)
-    session.add_invariants()
-    result = session.verify()
-    print(f"ADVOCAT verdict: {result.verdict.value}")
-    assert not result.deadlock_free
+        make_session = VerificationSession(inst.network, parametric_queues=True)
+    with make_session as session:
+        session.add_invariants()
+        result = session.verify()
+        print(f"ADVOCAT verdict: {result.verdict.value}")
+        assert not result.deadlock_free
 
-    explorer = Explorer(inst.network)
-    print("\nsearching for a reachable witness among SMT candidates ...")
-    # No small limit: candidate order varies with hash seeding, and the
-    # reachable witness must be found wherever it lands in the enumeration.
-    for witness in session.enumerate_witnesses(limit=10_000):
-        confirmation = explorer.confirm_witness(
-            witness.automaton_states, witness.queue_contents,
-            max_states=400_000,
-        )
-        if confirmation.found_deadlock:
-            print("confirmed reachable deadlock:")
-            print(witness.pretty())
-            print(f"\ncounterexample trace ({len(confirmation.trace)} steps):")
-            for kind, subject, detail in confirmation.trace:
-                print(f"  {kind:8s} {subject:14s} {detail}")
-            break
-    else:
-        raise SystemExit("no SMT candidate confirmed — unexpected")
+        explorer = Explorer(inst.network)
+        print("\nsearching for a reachable witness among SMT candidates ...")
+        # No small limit: candidate order varies with hash seeding, and the
+        # reachable witness must be found wherever it lands in the
+        # enumeration.
+        for witness in session.enumerate_witnesses(limit=10_000):
+            confirmation = explorer.confirm_witness(
+                witness.automaton_states, witness.queue_contents,
+                max_states=400_000,
+            )
+            if confirmation.found_deadlock:
+                print("confirmed reachable deadlock:")
+                print(witness.pretty())
+                print(f"\ncounterexample trace "
+                      f"({len(confirmation.trace)} steps):")
+                for kind, subject, detail in confirmation.trace:
+                    print(f"  {kind:8s} {subject:14s} {detail}")
+                break
+        else:
+            raise SystemExit("no SMT candidate confirmed — unexpected")
 
-    # --- queue size 3: deadlock-free — same session, new capacities --------
-    session.resize_queues(3)
-    result3 = session.verify()
-    print(f"\n2x2 mesh, queue size 3: {result3.verdict.value}")
-    assert result3.deadlock_free
-    print(f"({result3.stats['invariant_count']} invariants; "
-          f"solver: {result3.stats['solver']})")
+        # --- queue size 3: deadlock-free — same session, new capacities ----
+        session.resize_queues(3)
+        result3 = session.verify()
+        print(f"\n2x2 mesh, queue size 3: {result3.verdict.value}")
+        assert result3.deadlock_free
+        print(f"({result3.stats['invariant_count']} invariants; "
+              f"solver: {result3.stats['solver']})")
 
-    if args.stats:
-        solver_stats = result3.stats["solver"]
-        print("learned-clause lifecycle (this query): "
-              + ", ".join(f"{key}={solver_stats[key]}"
-                          for key in ("learned", "reductions", "reduced",
-                                      "kept_glue")))
-        if args.jobs <= 1:
-            print(f"live learned clauses in the session: "
-                  f"{session.solver.learned_count()}")
+        if args.stats:
+            solver_stats = result3.stats["solver"]
+            print("learned-clause lifecycle (this query): "
+                  + ", ".join(f"{key}={solver_stats[key]}"
+                              for key in ("learned", "reductions", "reduced",
+                                          "kept_glue")))
+            if args.jobs <= 1:
+                print(f"live learned clauses in the session: "
+                      f"{session.solver.learned_count()}")
 
     inst3 = abstract_mi_mesh(2, 2, queue_size=3)
     exploration = Explorer(inst3.network).find_deadlock(max_states=500_000)
@@ -90,8 +93,6 @@ def main() -> None:
         f"explicit-state cross-check: exhausted={exploration.exhausted}, "
         f"deadlock={exploration.found_deadlock}"
     )
-    if args.jobs > 1:
-        session.close()
     print("\nqueue size 2 deadlocks, queue size 3 is free — matches the paper.")
 
 

@@ -1,8 +1,12 @@
 #!/usr/bin/env python3
 """Figure 4: minimal deadlock-free queue sizes per mesh and directory position.
 
-For each mesh size and directory position, binary-search the smallest
-uniform queue size for which ADVOCAT proves deadlock freedom.
+For each mesh size and directory position, find the smallest uniform queue
+size for which ADVOCAT proves deadlock freedom.  The grid is declared as an
+:class:`repro.core.Experiment` — one picklable ``ScenarioSpec`` per
+(mesh, directory) point — and ``--jobs N`` shards *whole topology builds*
+across N scenario workers, each building its own encoding and running the
+search locally (see EXPERIMENTS.md for the grid ↔ figure mapping).
 
 In this reproduction's router model every node has a single rotating
 ejection queue, so the binding constraint is the total number of foreign
@@ -10,28 +14,42 @@ packets that can stall in front of the directory — which grows with the
 cache count but not with the directory position (see EXPERIMENTS.md for
 the comparison against the paper's per-direction numbers).
 
-With ``--jobs N`` the binary search is replaced by a *sharded sweep*:
-every candidate size up to ``--max-size`` is probed, striped across N
-pool workers that each hold one rehydrated parametric session (see
-``repro.core.sweep_queue_sizes``) — the full Figure-4 curve instead of
-just its boundary.
+``--sweep`` probes the full Figure-4 *curve* (every size up to
+``--max-size``) instead of binary-searching the boundary; ``--lazy``
+enables batched invariant strengthening (invariants generated only when a
+deadlock candidate survives plain block/idle); ``--save``/``--resume``
+checkpoint the grid so an interrupted run re-builds nothing.
 
-Run:  python examples/queue_sizing.py [--max-mesh 3] [--jobs 4]
+Run:  python examples/queue_sizing.py [--max-mesh 3] [--jobs 4] [--sweep]
 """
 
 import argparse
 
-from repro.core import minimal_queue_size, sweep_queue_sizes
-from repro.protocols import abstract_mi_mesh
+from repro.core import Experiment, ScenarioSpec
+from repro.fabrics import octant_positions
 
 
-def octant_positions(width: int, height: int) -> list[tuple[int, int]]:
-    """Directory positions up to the mesh's symmetry group."""
-    positions = []
-    for y in range((height + 1) // 2):
-        for x in range(y, (width + 1) // 2):
-            positions.append((x, y))
-    return positions
+def fig4_experiment(
+    max_mesh: int,
+    sweep: bool = False,
+    max_size: int = 6,
+    invariants: str = "eager",
+) -> Experiment:
+    """The Figure-4 grid: mesh sizes × directory positions."""
+    scenarios = []
+    for n in range(2, max_mesh + 1):
+        for position in octant_positions(n, n):
+            scenarios.append(
+                ScenarioSpec(
+                    builder="abstract_mi_mesh",
+                    kwargs={"width": n, "height": n, "directory_node": position},
+                    mode="sweep" if sweep else "search",
+                    sizes=tuple(range(1, max_size + 1)) if sweep else (),
+                    invariants=invariants,
+                    label=f"{n}x{n} directory at {position}",
+                )
+            )
+    return Experiment("fig4-queue-sizing", scenarios)
 
 
 def main() -> None:
@@ -39,39 +57,57 @@ def main() -> None:
     parser.add_argument("--max-mesh", type=int, default=3,
                         help="largest n for the n x n sweep (default 3)")
     parser.add_argument("--jobs", type=int, default=1,
-                        help="shard a full size sweep over N pool workers")
+                        help="shard whole topology builds over N workers")
+    parser.add_argument("--sweep", action="store_true",
+                        help="probe the full size curve instead of the boundary")
     parser.add_argument("--max-size", type=int, default=6,
-                        help="largest queue size probed with --jobs (default 6)")
+                        help="largest queue size probed with --sweep (default 6)")
+    parser.add_argument("--lazy", action="store_true",
+                        help="batched invariant strengthening (lazy mode)")
+    parser.add_argument("--save", metavar="PATH",
+                        help="checkpoint results to PATH after each scenario")
+    parser.add_argument("--resume", metavar="PATH",
+                        help="skip scenarios already answered in PATH")
     parser.add_argument("--stats", action="store_true",
-                        help="print learned-clause lifecycle counters per sweep")
+                        help="print per-scenario solver lifecycle totals")
     args = parser.parse_args()
 
-    for n in range(2, args.max_mesh + 1):
-        print(f"\n=== {n}x{n} mesh ===")
-        for position in octant_positions(n, n):
-            build = lambda q, p=position: abstract_mi_mesh(  # noqa: E731
-                n, n, queue_size=q, directory_node=p
-            ).network
-            if args.jobs > 1:
-                sizing = sweep_queue_sizes(
-                    build, range(1, args.max_size + 1), jobs=args.jobs
-                )
-            else:
-                sizing = minimal_queue_size(build)
-            print(f"  directory at {position}: minimal queue size = "
-                  f"{sizing.minimal_size}   (probes: "
+    experiment = fig4_experiment(
+        args.max_mesh,
+        sweep=args.sweep,
+        max_size=args.max_size,
+        invariants="lazy" if args.lazy else "eager",
+    )
+    result = experiment.run(
+        jobs=args.jobs,
+        resume=args.resume,
+        save_path=args.save,
+    )
+    if result.reused:
+        print(f"(resumed: {result.reused} scenarios reused, "
+              f"{result.computed} computed)")
+
+    for scenario in result.scenarios:
+        probed = ", ".join(
+            f"{size}:{'free' if free else 'dl'}"
+            for size, free in sorted(scenario.probes.items())
+        )
+        print(f"{scenario.label}: minimal queue size = "
+              f"{scenario.minimal_size}   (probes: {probed})")
+        if args.lazy:
+            print(f"    invariants used: {scenario.invariants_used} "
+                  f"(escalations: {scenario.lazy_escalations})")
+        if args.stats:
+            totals = scenario.stats.get("solver_totals", {})
+            print("    learned-clause lifecycle (scenario totals): "
                   + ", ".join(
-                      f"{s}:{'free' if ok else 'dl'}"
-                      for s, ok in sorted(sizing.probes.items())
-                  ) + ")")
-            if args.stats:
-                totals = {"learned": 0, "reductions": 0, "reduced": 0,
-                          "kept_glue": 0}
-                for result in sizing.results.values():
-                    for key in totals:
-                        totals[key] += result.stats["solver"].get(key, 0)
-                print("    learned-clause lifecycle (sweep totals): "
-                      + ", ".join(f"{k}={v}" for k, v in totals.items()))
+                      f"{key}={totals.get(key, 0)}"
+                      for key in ("learned", "reductions", "reduced",
+                                  "kept_glue")
+                  ))
+    print(f"\ngrid: {len(result.scenarios)} scenarios, "
+          f"build {result.build_seconds:.2f}s / "
+          f"query {result.query_seconds:.2f}s")
 
 
 if __name__ == "__main__":

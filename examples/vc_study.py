@@ -5,17 +5,25 @@ The paper: "A common approach to resolve deadlocks is to add virtual
 channels for different message types. The deadlock as described above,
 however, cannot be resolved this way."  This script verifies the 2×2 case
 study with and without VCs at the deadlocking size, then compares minimal
-queue sizes.
+queue sizes — the latter as a two-point experiment grid over the ``vcs``
+axis, so ``--jobs 2`` answers both topologies on separate workers.
 
-Run:  python examples/vc_study.py
+Run:  python examples/vc_study.py [--jobs 2]
 """
 
+import argparse
+
 from repro import verify
-from repro.core import minimal_queue_size
+from repro.core import Experiment
 from repro.protocols import abstract_mi_mesh
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="shard the VC grid over N scenario workers")
+    args = parser.parse_args()
+
     for vcs in (1, 2):
         inst = abstract_mi_mesh(2, 2, queue_size=2, vcs=vcs)
         result = verify(inst.network)
@@ -24,13 +32,18 @@ def main() -> None:
               f"[{inst.network.stats()['queues']} queues]")
         assert not result.deadlock_free, "VCs must not resolve the deadlock"
 
+    experiment = Experiment.grid(
+        "vc-study",
+        "abstract_mi_mesh",
+        axes={"vcs": [1, 2]},
+        base={"width": 2, "height": 2},
+        mode="search",
+    )
+    result = experiment.run(jobs=args.jobs)
     print("\nminimal deadlock-free queue size:")
-    for vcs in (1, 2):
-        sizing = minimal_queue_size(
-            lambda q, v=vcs: abstract_mi_mesh(2, 2, queue_size=q, vcs=v).network
-        )
+    for vcs, scenario in zip((1, 2), result.scenarios):
         label = "without VCs" if vcs == 1 else "per-VC with 2 VCs"
-        print(f"  {label}: {sizing.minimal_size}")
+        print(f"  {label}: {scenario.minimal_size}")
 
     print("\nthe deadlock survives VCs — matches the paper's claim.")
 

@@ -18,8 +18,12 @@ the explicit-state model checker that confirms deadlock candidates.
 
 from .core import (
     DeadlockWitness,
+    Experiment,
+    ExperimentResult,
     Invariant,
     ParallelVerificationSession,
+    ScenarioResult,
+    ScenarioSpec,
     SessionSpec,
     Verdict,
     VerificationResult,
@@ -32,12 +36,16 @@ from .core import (
     verify,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SessionSpec",
     "VerificationSession",
     "ParallelVerificationSession",
+    "Experiment",
+    "ExperimentResult",
+    "ScenarioSpec",
+    "ScenarioResult",
     "verify",
     "sweep_queue_sizes",
     "derive_colors",

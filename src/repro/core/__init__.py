@@ -16,13 +16,34 @@ Public entry points:
 * :func:`encode_deadlock` — block/idle equations + deadlock assertion.
 * :func:`minimal_queue_size` — Figure-4 style queue sizing on one session.
 * :func:`sweep_queue_sizes` — the Figure-4 curve, sharded over workers.
+* :class:`Experiment` / :class:`ScenarioSpec` — declarative topology grids
+  (mesh sizes × directory positions × …) sharded across scenario workers,
+  with resumable JSON results (:class:`ExperimentResult`).
 """
 
 from .colors import ColorDerivationError, ColorMap, derive_colors
 from .deadlock import DeadlockCase, DeadlockEncoding, encode_deadlock
 from .engine import SessionSnapshot, SessionSpec, VerificationSession
+from .experiments import (
+    Experiment,
+    ExperimentResult,
+    ScenarioResult,
+    ScenarioSpec,
+    register_builder,
+    registered_builders,
+    resolve_builder,
+    run_scenario,
+)
 from .invariants import build_flow_rows, generate_invariants
-from .parallel import ParallelVerificationSession, WorkerSession, default_jobs
+from .parallel import (
+    ParallelVerificationSession,
+    WorkerSession,
+    default_jobs,
+    discard_scenario_executor,
+    nested_jobs,
+    scenario_executor,
+    shutdown_scenario_executors,
+)
 from .proof import enumerate_witnesses, verify
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
 from .sizing import SizingResult, minimal_queue_size, sweep_queue_sizes
@@ -34,7 +55,19 @@ __all__ = [
     "VerificationSession",
     "ParallelVerificationSession",
     "WorkerSession",
+    "Experiment",
+    "ExperimentResult",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "register_builder",
+    "registered_builders",
+    "resolve_builder",
+    "run_scenario",
     "default_jobs",
+    "nested_jobs",
+    "scenario_executor",
+    "discard_scenario_executor",
+    "shutdown_scenario_executors",
     "sweep_queue_sizes",
     "verify",
     "enumerate_witnesses",

@@ -189,6 +189,36 @@ class SessionSpec:
                 capacities=self.capacities if parametric_queues else None,
             )
 
+    @classmethod
+    def from_builder(
+        cls,
+        builder: str,
+        builder_kwargs: Mapping | None = None,
+        rotating_precision: bool = True,
+        parametric_queues: bool = True,
+        watch: Stopwatch | None = None,
+    ) -> "SessionSpec":
+        """Open the build phase from a *description* of the network.
+
+        ``builder`` names a registered network builder
+        (:func:`repro.core.experiments.register_builder`); the network is
+        constructed here and the build phase runs on it.  This is the
+        engine-side hook the experiment layer rests on: a
+        :class:`~repro.core.experiments.ScenarioSpec` can describe a
+        build as plain data, ship it to a worker process, and the worker
+        materialises the spec with this constructor.
+        """
+        from .experiments import resolve_builder
+
+        built = resolve_builder(builder)(**dict(builder_kwargs or {}))
+        network = getattr(built, "network", built)
+        return cls(
+            network,
+            rotating_precision=rotating_precision,
+            parametric_queues=parametric_queues,
+            watch=watch,
+        )
+
     # ------------------------------------------------------------------
     @property
     def invariants(self) -> list[Invariant] | None:
@@ -372,6 +402,21 @@ class VerificationSession:
         if spec.invariants is not None:
             self._invariants = spec.invariants
             self._invariants_added = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle: sessions hold no external resources, but sharing the
+    # context-manager contract with ParallelVerificationSession lets
+    # drivers treat both uniformly (`with make_session(...) as session:`).
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """No-op (the spec and solver stay usable); contract parity with
+        :meth:`repro.core.parallel.ParallelVerificationSession.close`."""
+
+    def __enter__(self) -> "VerificationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Configuration

@@ -66,7 +66,15 @@ from .engine import (
 from .proof import extract_witness
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
 
-__all__ = ["ParallelVerificationSession", "WorkerSession", "default_jobs"]
+__all__ = [
+    "ParallelVerificationSession",
+    "WorkerSession",
+    "default_jobs",
+    "nested_jobs",
+    "scenario_executor",
+    "discard_scenario_executor",
+    "shutdown_scenario_executors",
+]
 
 Color = Hashable
 
@@ -82,8 +90,125 @@ SizesKey = tuple[tuple[str, int], ...]
 
 
 def default_jobs() -> int:
-    """Worker count when the caller does not choose one."""
+    """Worker count when the caller does not choose one.
+
+    The ``ADVOCAT_JOBS`` environment variable overrides the CPU count —
+    CI containers advertise more cores than they schedule, and the
+    experiment scheduler caps its nested query pools through the same
+    knob.  Precedence: an explicit ``jobs=`` argument anywhere in the API
+    beats the environment, which beats ``os.cpu_count()``.
+    """
+    env = os.environ.get("ADVOCAT_JOBS")
+    if env is not None and env.strip():
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"ADVOCAT_JOBS must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"ADVOCAT_JOBS must be a positive integer, got {env!r}"
+            )
+        return value
     return max(1, os.cpu_count() or 1)
+
+
+def nested_jobs(outer_jobs: int, budget: int | None = None) -> int:
+    """Per-task inner worker budget when ``outer_jobs`` tasks run at once.
+
+    The experiment scheduler runs N scenario builds concurrently, each of
+    which may itself shard queries over M workers; handing every scenario
+    the full :func:`default_jobs` would oversubscribe the machine N-fold.
+    This splits the budget evenly (never below 1), so
+    ``outer × nested_jobs(outer) ≤ budget`` whenever ``budget ≥ outer``.
+    """
+    if outer_jobs < 1:
+        raise ValueError(f"outer_jobs must be >= 1, got {outer_jobs}")
+    if budget is None:
+        budget = default_jobs()
+    return max(1, budget // max(1, outer_jobs))
+
+
+def _process_context():
+    """The start-method context pool executors are built with.
+
+    fork inherits the parent cheaply, but only Linux runs it safely
+    (CPython documents fork as crash-prone on macOS); everywhere else
+    the platform-default spawn works identically because every job and
+    initializer argument in this module is pickle-safe.
+    """
+    method = (
+        "fork"
+        if sys.platform.startswith("linux")
+        and "fork" in get_all_start_methods()
+        else "spawn"
+    )
+    return get_context(method)
+
+
+# Coarse-grained scenario jobs (whole SessionSpec builds, see
+# repro.core.experiments) reuse one module-level executor per
+# (backend, jobs) shape instead of paying pool startup per experiment —
+# resumed runs and multi-experiment scripts hit the same warm pool.
+_SCENARIO_EXECUTORS: dict[tuple[str, int], tuple[object, int]] = {}
+
+
+def scenario_executor(jobs: int, backend: str = "process", epoch: int = 0):
+    """A reusable executor for scenario-level (whole-build) jobs.
+
+    Unlike the per-session query pools (which rehydrate workers from one
+    session snapshot and must restart when the encoding changes), scenario
+    workers are stateless — each job carries its own
+    :class:`~repro.core.experiments.ScenarioSpec` — so one executor can
+    serve any number of experiments.  ``epoch`` invalidates the cache:
+    a cached executor created under an older epoch is shut down and
+    rebuilt (the experiment layer passes its builder-registry generation,
+    so fork-started workers never answer from a pre-registration
+    snapshot of the registry).  Call :func:`shutdown_scenario_executors`
+    to release them explicitly.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if backend not in ("process", "thread"):
+        raise ValueError(f"unknown backend {backend!r}")
+    key = (backend, jobs)
+    cached = _SCENARIO_EXECUTORS.get(key)
+    if cached is not None:
+        executor, cached_epoch = cached
+        if cached_epoch == epoch:
+            return executor
+        executor.shutdown(wait=True, cancel_futures=True)
+        del _SCENARIO_EXECUTORS[key]
+    if backend == "process":
+        executor = ProcessPoolExecutor(
+            max_workers=jobs, mp_context=_process_context()
+        )
+    else:
+        executor = ThreadPoolExecutor(max_workers=jobs)
+    _SCENARIO_EXECUTORS[key] = (executor, epoch)
+    return executor
+
+
+def discard_scenario_executor(
+    jobs: int, backend: str = "process", wait: bool = True
+) -> None:
+    """Evict one cached scenario executor (e.g. after a worker died).
+
+    A :class:`~concurrent.futures.BrokenExecutor` poisons the pool
+    permanently; callers that observe one must discard the cached entry
+    or every later run with the same shape would fail instantly.
+    """
+    cached = _SCENARIO_EXECUTORS.pop((backend, jobs), None)
+    if cached is not None:
+        cached[0].shutdown(wait=wait, cancel_futures=True)
+
+
+def shutdown_scenario_executors(wait: bool = True) -> None:
+    """Release every cached scenario executor."""
+    while _SCENARIO_EXECUTORS:
+        _, (executor, _) = _SCENARIO_EXECUTORS.popitem()
+        executor.shutdown(wait=wait, cancel_futures=True)
 
 
 class WorkerSession:
@@ -393,19 +518,9 @@ class ParallelVerificationSession:
         if self._executor is None:
             snapshot = self._pool_snapshot()
             if self.backend == "process":
-                # fork inherits the parent cheaply, but only Linux runs it
-                # safely (CPython documents fork as crash-prone on macOS);
-                # everywhere else the pickled snapshot initargs make the
-                # platform-default spawn work identically.
-                method = (
-                    "fork"
-                    if sys.platform.startswith("linux")
-                    and "fork" in get_all_start_methods()
-                    else "spawn"
-                )
                 self._executor = ProcessPoolExecutor(
                     max_workers=want,
-                    mp_context=get_context(method),
+                    mp_context=_process_context(),
                     initializer=_initialize_worker,
                     initargs=(snapshot,),
                 )
@@ -456,8 +571,17 @@ class ParallelVerificationSession:
         )
 
     def _sequential_fallback(self, want: int) -> bool:
-        """Run in-process when a pool cannot win (1 worker or 1 CPU)."""
-        return not self._force_pool and (want == 1 or default_jobs() == 1)
+        """Run in-process when a pool cannot win (1 worker or 1 CPU).
+
+        Deliberately checks the *physical* CPU count, not
+        :func:`default_jobs`: an explicit ``jobs=N`` request must beat an
+        ``ADVOCAT_JOBS`` cap (the documented precedence), so the env
+        override only shapes defaults, never silently downgrades a
+        requested pool to inline execution.
+        """
+        return not self._force_pool and (
+            want == 1 or (os.cpu_count() or 1) == 1
+        )
 
     def _ensure_inline(self) -> WorkerSession:
         spec_has_invariants = self.spec.invariants is not None

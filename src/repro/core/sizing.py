@@ -36,19 +36,63 @@ next probe's branching phases are initialised from the previous witness's
 blocking shape (``seed_phases_from_witness`` locally, ``phase_hints`` in
 the shard workers), so each capacity step starts its search at the model
 the last step ended on instead of from scratch.
+
+**Invariant modes.**  Both entry points take ``invariants=`` with three
+settings.  ``"eager"`` (the default, equivalent to the old
+``use_invariants=True``) conjoins the cross-layer invariants before the
+first probe.  ``"none"`` never generates them — plain block/idle detection.
+``"lazy"`` is *batched invariant strengthening*: probes start without
+automaton-equation invariants and the set is generated and conjoined only
+when a deadlock candidate survives plain block/idle (a deadlock-free
+verdict without invariants stays deadlock-free with them — invariants only
+strengthen — so lazy verdicts are identical to eager ones while networks
+that verify outright never pay for invariant generation).  The result
+records whether invariants ended up in force (``invariants_used``) and how
+many probes forced the escalation (``lazy_escalations``), so experiment
+grids can report the on/off ablation per scenario.
+
+**Timing split.**  Results separate ``build_seconds`` (network
+construction, encoding, invariant generation) from ``query_seconds``
+(solver time across probes) so experiment aggregation can attribute
+wall-clock to the right phase.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from time import perf_counter
+from typing import Callable, Iterable, Sequence
 
 from ..xmas import Network
 from .engine import VerificationSession
 from .proof import verify
 from .result import VerificationResult
 
-__all__ = ["SizingResult", "minimal_queue_size", "sweep_queue_sizes"]
+__all__ = [
+    "SizingResult",
+    "minimal_queue_size",
+    "sweep_queue_sizes",
+    "resolve_invariants_mode",
+]
+
+INVARIANT_MODES = ("eager", "lazy", "none")
+
+
+def resolve_invariants_mode(
+    invariants: str | None, use_invariants: bool = True
+) -> str:
+    """Normalise the ``invariants=`` / legacy ``use_invariants=`` pair.
+
+    ``invariants`` wins when given; otherwise the boolean maps onto
+    ``"eager"`` / ``"none"``.
+    """
+    if invariants is None:
+        return "eager" if use_invariants else "none"
+    if invariants not in INVARIANT_MODES:
+        raise ValueError(
+            f"invariants must be one of {INVARIANT_MODES}, got {invariants!r}"
+        )
+    return invariants
 
 
 @dataclass
@@ -58,11 +102,25 @@ class SizingResult:
     ``minimal_size`` is ``None`` when no probed size verified — possible
     for shard-level partial results (see :meth:`merge`) and for sweeps
     over a fixed size list that never reaches the boundary.
+
+    ``build_seconds`` / ``query_seconds`` split the wall-clock between the
+    build phase (network construction, encoding, invariant generation) and
+    the solver queries; ``invariants_used`` and ``lazy_escalations`` record
+    the invariant-mode ablation (see the module docstring).
+    ``lazy_escalations`` counts probes re-answered under the strengthened
+    encoding *under this schedule*: a sequential walk strengthens at the
+    first surviving candidate (at most 1), the batched pool pass
+    re-answers every surviving size — verdicts are identical either way.
     """
 
     minimal_size: int | None
     probes: dict[int, bool] = field(default_factory=dict)  # size -> deadlock-free?
     results: dict[int, VerificationResult] = field(default_factory=dict)
+    build_seconds: float = 0.0
+    query_seconds: float = 0.0
+    invariants_mode: str = "eager"
+    invariants_used: bool = True
+    lazy_escalations: int = 0
 
     def pretty(self) -> str:
         probed = ", ".join(
@@ -80,10 +138,16 @@ class SizingResult:
         Probe maps are unioned (a size probed by two shards must agree —
         verdicts are semantically determined) and the minimal size is
         recomputed from the union, so partial shards with
-        ``minimal_size=None`` merge cleanly.
+        ``minimal_size=None`` merge cleanly.  Timing splits are summed;
+        the invariant-mode ablation fields aggregate conservatively
+        (``invariants_used`` if any part used them).
         """
         probes: dict[int, bool] = {}
         results: dict[int, VerificationResult] = {}
+        build_s = query_s = 0.0
+        mode: str | None = None
+        used = False
+        escalations = 0
         for part in parts:
             for size, free in part.probes.items():
                 if size in probes and probes[size] != free:
@@ -93,12 +157,41 @@ class SizingResult:
                     )
                 probes[size] = free
             results.update(part.results)
+            build_s += part.build_seconds
+            query_s += part.query_seconds
+            mode = part.invariants_mode if mode is None else mode
+            used = used or part.invariants_used
+            escalations += part.lazy_escalations
         free_sizes = [size for size, free in probes.items() if free]
         return cls(
             minimal_size=min(free_sizes) if free_sizes else None,
             probes=probes,
             results=results,
+            build_seconds=build_s,
+            query_seconds=query_s,
+            invariants_mode=mode or "eager",
+            invariants_used=used,
+            lazy_escalations=escalations,
         )
+
+
+class _SplitTimer:
+    """Accumulates the build/query wall-clock split."""
+
+    def __init__(self) -> None:
+        self.build = 0.0
+        self.query = 0.0
+
+    def timed(self, bucket: str, thunk: Callable):
+        start = perf_counter()
+        try:
+            return thunk()
+        finally:
+            elapsed = perf_counter() - start
+            if bucket == "build":
+                self.build += elapsed
+            else:
+                self.query += elapsed
 
 
 def minimal_queue_size(
@@ -107,6 +200,7 @@ def minimal_queue_size(
     max_size: int = 512,
     exhaustive: bool = False,
     incremental: bool = True,
+    invariants: str | None = None,
     **verify_kwargs,
 ) -> SizingResult:
     """Smallest uniform queue size for which ``build(size)`` verifies.
@@ -126,23 +220,34 @@ def minimal_queue_size(
         Probe all sizes through one shared :class:`VerificationSession`
         (requires ``build`` to vary only queue capacities).  ``False``
         re-verifies each size from scratch.
+    invariants:
+        ``"eager"`` / ``"lazy"`` / ``"none"`` — see the module docstring.
+        Defaults to eager; the legacy ``use_invariants=False`` kwarg still
+        maps to ``"none"``.
     verify_kwargs:
         Forwarded to :func:`repro.core.proof.verify` (``use_invariants``,
         ``rotating_precision``, ``max_splits``).
     """
+    mode = resolve_invariants_mode(
+        invariants, verify_kwargs.pop("use_invariants", True)
+    )
     probes: dict[int, bool] = {}
     results: dict[int, VerificationResult] = {}
+    timer = _SplitTimer()
+    state = {"added": mode == "eager", "escalations": 0}
 
     if incremental:
-        use_invariants = verify_kwargs.pop("use_invariants", True)
-        base_network = build(low)
+        base_network = timer.timed("build", lambda: build(low))
         base_stats = base_network.stats()
         base_queues = {q.name for q in base_network.queues()}
-        session = VerificationSession(
-            base_network, parametric_queues=True, **verify_kwargs
+        session = timer.timed(
+            "build",
+            lambda: VerificationSession(
+                base_network, parametric_queues=True, **verify_kwargs
+            ),
         )
-        if use_invariants:
-            session.add_invariants()
+        if mode == "eager":
+            timer.timed("build", session.add_invariants)
 
         def probe(size: int) -> bool:
             if size not in probes:
@@ -151,7 +256,7 @@ def minimal_queue_size(
                 # capacity-only assumption: primitive/channel counts or the
                 # queue-name set changing means the builder varies structure
                 # (same-count rewires remain the caller's responsibility).
-                built = build(size)
+                built = timer.timed("build", lambda: build(size))
                 if (
                     built.stats() != base_stats
                     or {q.name for q in built.queues()} != base_queues
@@ -162,7 +267,19 @@ def minimal_queue_size(
                     )
                 session.resize_queues({q.name: q.size for q in built.queues()})
                 session.seed_phases_from_witness()
-                result = session.verify()
+                result = timer.timed("query", session.verify)
+                if (
+                    mode == "lazy"
+                    and not result.deadlock_free
+                    and not state["added"]
+                ):
+                    # Lazy strengthening: the candidate survived plain
+                    # block/idle, so generate + conjoin the invariants
+                    # (permanent, sound) and re-ask the same probe.
+                    timer.timed("build", session.add_invariants)
+                    state["added"] = True
+                    state["escalations"] += 1
+                    result = timer.timed("query", session.verify)
                 probes[size] = result.deadlock_free
                 results[size] = result
             return probes[size]
@@ -171,7 +288,28 @@ def minimal_queue_size(
 
         def probe(size: int) -> bool:
             if size not in probes:
-                result = verify(build(size), **verify_kwargs)
+                network = timer.timed("build", lambda: build(size))
+                result = timer.timed(
+                    "query",
+                    lambda: verify(
+                        network,
+                        use_invariants=state["added"],
+                        **verify_kwargs,
+                    ),
+                )
+                if (
+                    mode == "lazy"
+                    and not result.deadlock_free
+                    and not state["added"]
+                ):
+                    state["added"] = True
+                    state["escalations"] += 1
+                    result = timer.timed(
+                        "query",
+                        lambda: verify(
+                            network, use_invariants=True, **verify_kwargs
+                        ),
+                    )
                 probes[size] = result.deadlock_free
                 results[size] = result
             return probes[size]
@@ -202,7 +340,16 @@ def minimal_queue_size(
                     f"monotonicity violated: size {candidate} verifies but "
                     f"binary search reported {minimal}"
                 )
-    return SizingResult(minimal_size=minimal, probes=probes, results=results)
+    return SizingResult(
+        minimal_size=minimal,
+        probes=probes,
+        results=results,
+        build_seconds=timer.build,
+        query_seconds=timer.query,
+        invariants_mode=mode,
+        invariants_used=state["added"],
+        lazy_escalations=state["escalations"],
+    )
 
 
 def _capacity_only_assignment(
@@ -221,6 +368,57 @@ def _capacity_only_assignment(
     return {q.name: q.size for q in built.queues()}
 
 
+def _pool_sweep(
+    base_network: Network,
+    size_list: Sequence[int],
+    assignments: dict[int, dict[str, int]],
+    jobs: int,
+    backend: str,
+    want_witness: bool,
+    add_invariants: bool,
+    timer: _SplitTimer,
+    verify_kwargs: dict,
+) -> SizingResult:
+    """One sharded pass over ``size_list`` (striped shards, warm-start
+    ascending order within each shard)."""
+    from .parallel import ParallelVerificationSession
+
+    session = timer.timed(
+        "build",
+        lambda: ParallelVerificationSession(
+            base_network,
+            jobs=jobs,
+            backend=backend,
+            parametric_queues=True,
+            **verify_kwargs,
+        ),
+    )
+    with session:
+        if add_invariants:
+            timer.timed("build", session.add_invariants)
+        shard_sizes = [size_list[w::jobs] for w in range(jobs)]
+        shard_sizes = [shard for shard in shard_sizes if shard]
+        shard_results = timer.timed(
+            "query",
+            lambda: session.probe_shards(
+                [[assignments[size] for size in shard] for shard in shard_sizes],
+                want_witness=want_witness,
+            ),
+        )
+    parts = []
+    for shard, results_list in zip(shard_sizes, shard_results):
+        part = SizingResult(minimal_size=None)
+        for size, result in zip(shard, results_list):
+            part.probes[size] = result.deadlock_free
+            part.results[size] = result
+        free = [size for size, ok in part.probes.items() if ok]
+        part.minimal_size = min(free) if free else None
+        parts.append(part)
+    merged = SizingResult.merge(parts)
+    merged.invariants_used = add_invariants
+    return merged
+
+
 def sweep_queue_sizes(
     build: Callable[[int], Network],
     sizes: Iterable[int],
@@ -228,6 +426,7 @@ def sweep_queue_sizes(
     use_invariants: bool = True,
     backend: str = "process",
     want_witness: bool = True,
+    invariants: str | None = None,
     **verify_kwargs,
 ) -> SizingResult:
     """Verdict per queue size over an explicit size list, sharded.
@@ -240,70 +439,120 @@ def sweep_queue_sizes(
     parametric session (warm-start within the shard).  Per-shard
     :class:`SizingResult`\\ s are aggregated with :meth:`SizingResult.merge`.
 
+    ``invariants="lazy"`` batches the strengthening: a first pass probes
+    every size without invariants, then only the sizes whose candidate
+    survived are re-probed with the invariants conjoined (sharded again
+    when ``jobs > 1``) — verdict-identical to eager mode.
+
     ``build`` must vary only queue capacities (checked), as for the
     incremental ``minimal_queue_size``.  ``verify_kwargs`` forwards
     ``rotating_precision`` / ``max_splits``.
     """
+    mode = resolve_invariants_mode(invariants, use_invariants)
     size_list = sorted(set(sizes))
     if not size_list:
         raise ValueError("sweep_queue_sizes() needs at least one size")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    base_network = build(size_list[0])
+    timer = _SplitTimer()
+    base_network = timer.timed("build", lambda: build(size_list[0]))
     base_stats = base_network.stats()
     base_queues = {q.name for q in base_network.queues()}
-    assignments = {
-        size: _capacity_only_assignment(build(size), base_stats, base_queues)
-        if size != size_list[0]
-        else {q.name: q.size for q in base_network.queues()}
-        for size in size_list
-    }
+    assignments = timer.timed(
+        "build",
+        lambda: {
+            size: _capacity_only_assignment(
+                build(size), base_stats, base_queues
+            )
+            if size != size_list[0]
+            else {q.name: q.size for q in base_network.queues()}
+            for size in size_list
+        },
+    )
 
     if jobs == 1:
-        session = VerificationSession(
-            base_network, parametric_queues=True, **verify_kwargs
+        session = timer.timed(
+            "build",
+            lambda: VerificationSession(
+                base_network, parametric_queues=True, **verify_kwargs
+            ),
         )
-        if use_invariants:
-            session.add_invariants()
+        added = mode == "eager"
+        escalations = 0
+        if added:
+            timer.timed("build", session.add_invariants)
         part = SizingResult(minimal_size=None)
         for size in size_list:
             session.resize_queues(assignments[size])
             # Ascending walk: start each probe's search at the previous
             # witness (the shard workers do the same via phase_hints).
             session.seed_phases_from_witness()
-            result = session.verify()
+            result = timer.timed("query", session.verify)
+            if not result.deadlock_free and not added and mode == "lazy":
+                timer.timed("build", session.add_invariants)
+                added = True
+                escalations += 1
+                result = timer.timed("query", session.verify)
             if not want_witness:
                 # Match the parallel path's payload shape: the session
                 # always extracts on SAT, so drop it afterwards.
                 result.witness = None
             part.probes[size] = result.deadlock_free
             part.results[size] = result
-        return SizingResult.merge([part])
-
-    from .parallel import ParallelVerificationSession
-
-    with ParallelVerificationSession(
-        base_network,
-        jobs=jobs,
-        backend=backend,
-        parametric_queues=True,
-        **verify_kwargs,
-    ) as session:
-        if use_invariants:
-            session.add_invariants()
-        shard_sizes = [size_list[w::jobs] for w in range(jobs)]
-        shard_sizes = [shard for shard in shard_sizes if shard]
-        shard_results = session.probe_shards(
-            [[assignments[size] for size in shard] for shard in shard_sizes],
-            want_witness=want_witness,
+        merged = SizingResult.merge([part])
+        merged.invariants_used = added
+        merged.lazy_escalations = escalations
+    elif mode != "lazy":
+        merged = _pool_sweep(
+            base_network,
+            size_list,
+            assignments,
+            jobs,
+            backend,
+            want_witness,
+            mode == "eager",
+            timer,
+            verify_kwargs,
         )
-    parts = []
-    for shard, results_list in zip(shard_sizes, shard_results):
-        part = SizingResult(minimal_size=None)
-        for size, result in zip(shard, results_list):
-            part.probes[size] = result.deadlock_free
-            part.results[size] = result
-        free = [size for size, ok in part.probes.items() if ok]
-        part.minimal_size = min(free) if free else None
-        parts.append(part)
-    return SizingResult.merge(parts)
+    else:
+        # Batched strengthening across the pool: one unstrengthened pass
+        # over every size, then a second sharded pass (invariants
+        # conjoined) over only the sizes whose candidate survived.
+        first = _pool_sweep(
+            base_network,
+            size_list,
+            assignments,
+            jobs,
+            backend,
+            want_witness,
+            False,
+            timer,
+            verify_kwargs,
+        )
+        surviving = [size for size in size_list if not first.probes[size]]
+        if not surviving:
+            merged = first
+        else:
+            for size in surviving:
+                # Drop the unstrengthened candidate verdicts: the second
+                # pass re-answers them under the stronger encoding.
+                first.probes.pop(size)
+                first.results.pop(size, None)
+            second = _pool_sweep(
+                base_network,
+                surviving,
+                assignments,
+                min(jobs, len(surviving)),
+                backend,
+                want_witness,
+                True,
+                timer,
+                verify_kwargs,
+            )
+            merged = SizingResult.merge([first, second])
+            merged.invariants_used = True
+            merged.lazy_escalations = len(surviving)
+    merged.invariants_mode = mode
+    merged.build_seconds = timer.build
+    merged.query_seconds = timer.query
+    return merged

@@ -8,7 +8,7 @@ returned :class:`MeshFabric` ports.
 
 from .mesh import MeshConfig, MeshFabric, build_mesh
 from .routing import route_path, xy_routing, yx_routing
-from .topology import Direction, MeshTopology
+from .topology import Direction, MeshTopology, octant_positions
 
 __all__ = [
     "MeshConfig",
@@ -16,6 +16,7 @@ __all__ = [
     "build_mesh",
     "MeshTopology",
     "Direction",
+    "octant_positions",
     "xy_routing",
     "yx_routing",
     "route_path",

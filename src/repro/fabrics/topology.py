@@ -6,7 +6,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["Direction", "MeshTopology", "Node"]
+__all__ = ["Direction", "MeshTopology", "Node", "octant_positions"]
 
 Node = tuple[int, int]
 
@@ -82,3 +82,25 @@ class MeshTopology:
 
     def __str__(self) -> str:
         return f"{self.width}x{self.height} mesh"
+
+
+def octant_positions(width: int, height: int) -> list[Node]:
+    """Directory positions up to the mesh's symmetry group.
+
+    For a ``width × height`` mesh, the reflective symmetries make many
+    directory placements equivalent; this returns one representative per
+    orbit: the quadrant folded by the x- and y-reflections, plus — only
+    for square meshes, whose symmetry group also contains the diagonal
+    reflection — the fold onto ``x ≥ y`` (the "octant").  The Figure-4
+    experiment grids (``examples/queue_sizing.py``,
+    ``benchmarks/bench_fig4_queue_sizes.py``,
+    ``benchmarks/bench_experiments.py``) all iterate exactly this list, so
+    the drivers stay byte-comparable.
+    """
+    positions = []
+    for y in range((height + 1) // 2):
+        for x in range((width + 1) // 2):
+            if width == height and x < y:
+                continue  # diagonal reflection folds (x, y) onto (y, x)
+            positions.append((x, y))
+    return positions

@@ -134,3 +134,14 @@ def token_ring(n_stations: int = 3, queue_size: int = 1) -> Network:
         builder.connect(queues[i].o, queues[i + 1].i)
     builder.connect(queues[-1].o, entry.ins[1])
     return builder.build(validate=True)
+
+
+# Experiment-grid identities (see repro.core.experiments): specs name
+# builders as strings so grid points pickle under any start method.
+# running_example returns an instance object; ScenarioSpec.build unwraps
+# its ``.network``.
+from .core.experiments import register_builder  # noqa: E402
+
+register_builder("running_example", running_example)
+register_builder("producer_consumer", producer_consumer)
+register_builder("token_ring", token_ring)

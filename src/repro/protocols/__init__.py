@@ -6,6 +6,7 @@
   protocol with cache-to-cache forwarding, write-back ack/nack and DMA.
 """
 
+from ..core.experiments import register_builder
 from .abstract_mi import (
     AbstractMIInstance,
     abstract_mi_ether,
@@ -42,3 +43,10 @@ __all__ = [
     "build_mi_dma",
     "mi_vc_assignment",
 ]
+
+# Experiment-grid identities: ScenarioSpecs name these builders as plain
+# strings (repro.core.experiments), so grid points stay picklable across
+# any multiprocessing start method.  Both return instance objects whose
+# ``.network`` the experiment layer unwraps.
+register_builder("abstract_mi_mesh", abstract_mi_mesh)
+register_builder("mi_mesh", mi_mesh)

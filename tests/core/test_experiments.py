@@ -1,0 +1,449 @@
+"""The experiment orchestration layer must be observationally equal to the
+sequential outer loop.
+
+``Experiment.run(jobs=N)`` ships whole ``ScenarioSpec`` builds to workers,
+so these tests are end-to-end checks of the chain: registry resolution →
+network build → sizing search/sweep → compact result → grid-ordered,
+resumable aggregation.  Thread-backend schedulers keep the hypothesis
+differentials fast; the spawn-safety tests cross real process boundaries
+under the strictest start method.
+"""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Experiment,
+    ExperimentResult,
+    ScenarioResult,
+    ScenarioSpec,
+    SessionSpec,
+    minimal_queue_size,
+    register_builder,
+    registered_builders,
+    resolve_builder,
+    run_scenario,
+    sweep_queue_sizes,
+)
+from repro.core.parallel import WorkerSession, _initialize_worker, _run_job
+from repro.netlib import running_example
+
+
+def _running_spec(**overrides) -> ScenarioSpec:
+    base = dict(builder="running_example", mode="sweep", sizes=(1, 2))
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def test_stock_builders_are_registered():
+    names = registered_builders()
+    for expected in ("abstract_mi_mesh", "mi_mesh", "running_example"):
+        assert expected in names
+
+
+def test_resolve_unknown_builder_names_known_ones():
+    with pytest.raises(KeyError, match="running_example"):
+        resolve_builder("no-such-builder")
+
+
+def test_reregistering_a_name_with_a_different_callable_fails():
+    marker = lambda **kwargs: None  # noqa: E731
+    register_builder("test-only-builder", marker)
+    register_builder("test-only-builder", marker)  # same fn: idempotent
+    with pytest.raises(ValueError):
+        register_builder("test-only-builder", lambda **kwargs: None)
+
+
+def test_session_spec_from_builder_matches_direct_build():
+    spec = SessionSpec.from_builder(
+        "running_example", {"queue_size": 2}, parametric_queues=True
+    )
+    direct = SessionSpec(
+        running_example(queue_size=2).network, parametric_queues=True
+    )
+    assert spec.initial_sizes == direct.initial_sizes
+    assert len(spec.encoding.cases) == len(direct.encoding.cases)
+
+
+# ---------------------------------------------------------------------------
+# ScenarioSpec: canonicalisation, validation, pickling
+# ---------------------------------------------------------------------------
+
+
+def test_scenario_spec_canonicalises_kwargs():
+    a = ScenarioSpec(
+        "abstract_mi_mesh",
+        {"width": 2, "height": 2, "directory_node": [0, 1]},
+    )
+    b = ScenarioSpec(
+        "abstract_mi_mesh",
+        (("height", 2), ("directory_node", (0, 1)), ("width", 2)),
+    )
+    assert a == b
+    assert a.key() == b.key()
+    assert hash(a) == hash(b)
+
+
+def test_scenario_spec_key_excludes_scheduling_hints():
+    plain = _running_spec()
+    hinted = _running_spec(query_jobs=4, label="pretty name")
+    assert plain.key() == hinted.key()
+
+
+def test_scenario_spec_validation():
+    with pytest.raises(ValueError):
+        ScenarioSpec("running_example", mode="nope")
+    with pytest.raises(ValueError):
+        ScenarioSpec("running_example", mode="sweep", sizes=())
+    with pytest.raises(ValueError):
+        ScenarioSpec("running_example", invariants="sometimes")
+    with pytest.raises(TypeError):
+        ScenarioSpec("running_example", {"fn": print})
+    # Mapping values cannot round-trip back to the builder unambiguously.
+    with pytest.raises(TypeError, match="mapping"):
+        ScenarioSpec("running_example", {"assignment": {"req": 0}})
+
+
+def test_run_rejects_unresolvable_builders_before_spawning_workers():
+    grid = Experiment("bad", [ScenarioSpec("definitely-not-registered")])
+    with pytest.raises(KeyError, match="definitely-not-registered"):
+        grid.run(jobs=2, backend="thread")
+
+
+def test_late_registered_builder_reaches_cached_process_pool():
+    # A fork-started scenario pool created *before* a registration must
+    # be retired (registry-generation epoch), or its workers would
+    # resolve from a stale registry snapshot.
+    from multiprocessing import get_all_start_methods
+
+    if "fork" not in get_all_start_methods():
+        pytest.skip("inherit-the-registry semantics need the fork method")
+    # Materialise a pool on the stock registry first ...
+    Experiment(
+        "warmup", [_running_spec(), _running_spec(sizes=(2,))]
+    ).run(jobs=2, backend="process")
+    # ... then grow the registry and reuse the same (backend, jobs) slot.
+    register_builder(
+        "late-registered-example",
+        lambda queue_size: running_example(queue_size=queue_size).network,
+    )
+    grid = Experiment(
+        "late",
+        [
+            ScenarioSpec("late-registered-example", mode="sweep", sizes=(1, 2)),
+            ScenarioSpec("late-registered-example", mode="sweep", sizes=(2, 3)),
+        ],
+    )
+    pooled = grid.run(jobs=2, backend="process")
+    inline = grid.run(jobs=1)
+    assert pooled.verdict_bytes() == inline.verdict_bytes()
+
+
+def test_scenario_spec_pickle_round_trip():
+    spec = ScenarioSpec(
+        "abstract_mi_mesh",
+        {"width": 2, "height": 2, "directory_node": (1, 1)},
+        mode="sweep",
+        sizes=(1, 2, 3),
+        invariants="lazy",
+    )
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert clone.key() == spec.key()
+
+
+def test_scenario_spec_builds_and_unwraps_instances():
+    network = _running_spec().build(2)
+    assert {q.name for q in network.queues()} == {"q0", "q1"}
+    assert all(q.size == 2 for q in network.queues())
+
+
+# ---------------------------------------------------------------------------
+# Spawn-method safety: specs and session snapshots must survive the
+# strictest start method (no inherited module state, pure pickling).
+# ---------------------------------------------------------------------------
+
+
+def test_scenario_spec_round_trips_under_spawn():
+    spec = _running_spec()
+    with ProcessPoolExecutor(
+        max_workers=1, mp_context=get_context("spawn")
+    ) as executor:
+        remote = executor.submit(run_scenario, spec).result(timeout=180)
+    local = run_scenario(spec)
+    assert remote.probes == local.probes
+    assert remote.minimal_size == local.minimal_size
+    assert remote.key == local.key
+
+
+def test_session_snapshot_round_trips_under_spawn():
+    spec = SessionSpec(
+        running_example(queue_size=2).network, parametric_queues=True
+    )
+    snapshot = spec.snapshot()
+    assert pickle.loads(pickle.dumps(snapshot)).any_guard_name == (
+        snapshot.any_guard_name
+    )
+    sizes = tuple(sorted(spec.initial_sizes.items()))
+    job = ("check", None, sizes, False)
+    with ProcessPoolExecutor(
+        max_workers=1,
+        mp_context=get_context("spawn"),
+        initializer=_initialize_worker,
+        initargs=(snapshot,),
+    ) as executor:
+        remote = executor.submit(_run_job, job).result(timeout=180)
+    local = WorkerSession(snapshot).run(job)
+    assert remote[0] == local[0]
+    if remote[0] == "unsat":
+        assert set(remote[1]) == set(local[1])
+
+
+# ---------------------------------------------------------------------------
+# Scheduler: jobs=1 ≡ jobs=N, deterministic ordering, resume
+# ---------------------------------------------------------------------------
+
+
+def _small_grid() -> Experiment:
+    return Experiment(
+        "grid",
+        [
+            _running_spec(sizes=(1, 2)),
+            _running_spec(sizes=(1, 2, 3)),
+            _running_spec(mode="search", sizes=()),
+        ],
+    )
+
+
+def test_grid_expansion_is_deterministic_and_rejects_duplicates():
+    grid = Experiment.grid(
+        "g",
+        "abstract_mi_mesh",
+        axes={"vcs": [1, 2], "directory_node": [(0, 0), (1, 1)]},
+        base={"width": 2, "height": 2},
+    )
+    labels = [spec.key() for spec in grid.scenarios]
+    assert len(labels) == 4
+    # itertools.product order: the first axis varies slowest.
+    assert [dict(s.kwargs)["vcs"] for s in grid.scenarios] == [1, 1, 2, 2]
+    again = Experiment.grid(
+        "g",
+        "abstract_mi_mesh",
+        axes={"vcs": [1, 2], "directory_node": [(0, 0), (1, 1)]},
+        base={"width": 2, "height": 2},
+    )
+    assert [s.key() for s in again.scenarios] == labels
+    with pytest.raises(ValueError):
+        Experiment("dup", [_running_spec(), _running_spec()])
+
+
+def test_run_jobs1_matches_jobs2_thread_backend():
+    grid = _small_grid()
+    sequential = grid.run(jobs=1)
+    threaded = grid.run(jobs=2, backend="thread")
+    assert sequential.verdict_bytes() == threaded.verdict_bytes()
+    assert [s.key for s in threaded.scenarios] == [
+        spec.key() for spec in grid.scenarios
+    ]
+
+
+def test_run_process_backend_matches_inline():
+    grid = Experiment("p", [_running_spec(), _running_spec(sizes=(2, 3))])
+    inline = grid.run(jobs=1)
+    pooled = grid.run(jobs=2, backend="process")
+    assert inline.verdict_bytes() == pooled.verdict_bytes()
+
+
+def test_resume_skips_completed_scenarios(tmp_path):
+    grid = _small_grid()
+    checkpoint = tmp_path / "partial.json"
+    # First run only a sub-grid and checkpoint it.
+    partial = Experiment("grid", grid.scenarios[:2]).run(
+        jobs=1, save_path=checkpoint
+    )
+    assert partial.computed == 2
+    resumed = grid.run(jobs=1, resume=checkpoint)
+    assert resumed.computed == 1  # only the missing scenario was built
+    assert resumed.reused == 2
+    full = grid.run(jobs=1)
+    assert resumed.verdict_bytes() == full.verdict_bytes()
+    # A fully answered checkpoint re-builds nothing.
+    resumed.save(checkpoint)
+    cold = grid.run(jobs=2, backend="thread", resume=checkpoint)
+    assert cold.computed == 0
+    assert cold.reused == 3
+    assert cold.verdict_bytes() == full.verdict_bytes()
+
+
+def test_resume_from_missing_checkpoint_starts_fresh(tmp_path):
+    # The documented `--save X --resume X` idiom: a first run that died
+    # before its first checkpoint leaves no file, which must mean "empty
+    # resume set", not a crash.
+    checkpoint = tmp_path / "never-written.json"
+    grid = Experiment("fresh", [_running_spec()])
+    result = grid.run(jobs=1, resume=checkpoint, save_path=checkpoint)
+    assert result.computed == 1
+    assert result.reused == 0
+    assert checkpoint.exists()
+
+
+def test_save_path_checkpoints_every_completion(tmp_path):
+    checkpoint = tmp_path / "run.json"
+    seen = []
+
+    def watch(result: ScenarioResult) -> None:
+        seen.append(result.key)
+        loaded = ExperimentResult.load(checkpoint)
+        assert result.key in {s.key for s in loaded.scenarios}
+
+    grid = Experiment("ckpt", [_running_spec(), _running_spec(sizes=(2,))])
+    result = grid.run(jobs=1, save_path=checkpoint, progress=watch)
+    assert len(seen) == 2
+    assert ExperimentResult.load(checkpoint).verdict_bytes() == (
+        result.verdict_bytes()
+    )
+
+
+def test_experiment_result_json_round_trip():
+    result = _small_grid().run(jobs=1)
+    clone = ExperimentResult.from_json(result.to_json())
+    assert clone.verdict_bytes() == result.verdict_bytes()
+    assert [s.probes for s in clone.scenarios] == [
+        s.probes for s in result.scenarios
+    ]
+    assert isinstance(clone.scenarios[0].probes, dict)
+    assert all(
+        isinstance(size, int) for size in clone.scenarios[0].probes
+    )
+
+
+def test_env_caps_default_scenario_jobs(monkeypatch):
+    monkeypatch.setenv("ADVOCAT_JOBS", "1")
+    grid = Experiment("env", [_running_spec(), _running_spec(sizes=(2,))])
+    result = grid.run(backend="thread")  # jobs=None → env budget of 1
+    assert result.computed == 2
+
+
+def test_query_jobs_auto_splits_the_budget(monkeypatch):
+    monkeypatch.setenv("ADVOCAT_JOBS", "4")
+    grid = Experiment("auto", [_running_spec(), _running_spec(sizes=(2,))])
+    explicit = grid.run(jobs=2, query_jobs=1, backend="thread")
+    auto = grid.run(jobs=2, query_jobs="auto", backend="thread")
+    # nested_jobs(2) of a budget of 4 → 2 inner workers; verdicts must
+    # not depend on the inner split.
+    assert auto.verdict_bytes() == explicit.verdict_bytes()
+    with pytest.raises(ValueError):
+        grid.run(jobs=1, query_jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# Timing split and the lazy-invariants ablation
+# ---------------------------------------------------------------------------
+
+
+def test_sizing_reports_build_query_split():
+    sizing = minimal_queue_size(
+        lambda size: running_example(queue_size=size).network
+    )
+    assert sizing.build_seconds > 0
+    assert sizing.query_seconds > 0
+    assert sizing.invariants_mode == "eager"
+    assert sizing.invariants_used
+
+
+def test_lazy_sweep_matches_eager_sequential_and_sharded():
+    def build(size):
+        return running_example(queue_size=size).network
+
+    eager = sweep_queue_sizes(build, range(1, 4), jobs=1)
+    for jobs in (1, 2):
+        lazy = sweep_queue_sizes(
+            build, range(1, 4), jobs=jobs, backend="thread", invariants="lazy"
+        )
+        assert lazy.probes == eager.probes, jobs
+        assert lazy.minimal_size == eager.minimal_size
+        assert lazy.invariants_mode == "lazy"
+
+
+def test_lazy_never_generates_invariants_when_block_idle_suffices():
+    # producer_consumer verifies under plain block/idle at every size, so
+    # the lazy walk must never pay for invariant generation.
+    sizing = minimal_queue_size(
+        lambda size: resolve_builder("producer_consumer")(queue_size=size),
+        invariants="lazy",
+    )
+    assert sizing.minimal_size == 1
+    assert not sizing.invariants_used
+    assert sizing.lazy_escalations == 0
+
+
+def test_lazy_mode_recorded_per_scenario():
+    grid = Experiment(
+        "ablation",
+        [
+            _running_spec(invariants="lazy"),
+            _running_spec(invariants="eager", sizes=(1, 2)),
+        ],
+    )
+    by_mode = {
+        scenario.invariants_mode: scenario
+        for scenario in grid.run(jobs=1).scenarios
+    }
+    assert by_mode["lazy"].lazy_escalations >= 1
+    assert by_mode["lazy"].invariants_used
+    assert by_mode["eager"].lazy_escalations == 0
+    assert by_mode["lazy"].probes == by_mode["eager"].probes
+
+
+def test_none_mode_reports_plain_block_idle():
+    sizing = sweep_queue_sizes(
+        lambda size: running_example(queue_size=size).network,
+        range(1, 3),
+        invariants="none",
+    )
+    assert sizing.minimal_size is None  # block/idle alone: candidates
+    assert not sizing.invariants_used
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential: jobs=1 ≡ jobs=4 verdict-for-verdict
+# ---------------------------------------------------------------------------
+
+grids = st.lists(
+    st.frozensets(st.integers(min_value=1, max_value=3), min_size=1, max_size=3),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+
+@given(size_sets=grids, invariants=st.sampled_from(["eager", "lazy", "none"]))
+@settings(max_examples=10, deadline=None)
+def test_sharded_grid_equals_sequential_grid(size_sets, invariants):
+    grid = Experiment(
+        "diff",
+        [
+            ScenarioSpec(
+                "running_example",
+                mode="sweep",
+                sizes=tuple(sorted(sizes)),
+                invariants=invariants,
+            )
+            for sizes in size_sets
+        ],
+    )
+    sequential = grid.run(jobs=1)
+    sharded = grid.run(jobs=4, backend="thread")
+    assert sequential.verdict_bytes() == sharded.verdict_bytes()
+    assert sequential.computed == len(size_sets)
+    assert sharded.computed == len(size_sets)

@@ -9,6 +9,9 @@ hypothesis differentials fast (same code path, no fork cost); a couple of
 directed tests cross real process boundaries.
 """
 
+import os
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -16,6 +19,8 @@ from repro.core import (
     ParallelVerificationSession,
     SessionSpec,
     VerificationSession,
+    default_jobs,
+    nested_jobs,
     sweep_queue_sizes,
 )
 from repro.core.engine import ANY_CASE_LABEL
@@ -310,6 +315,60 @@ def test_sweep_want_witness_is_consistent_across_job_counts():
             use_invariants=False, want_witness=False,
         )
         assert all(r.witness is None for r in swept.results.values()), jobs
+
+
+# ---------------------------------------------------------------------------
+# Jobs budgeting: ADVOCAT_JOBS precedence and the nested-jobs split
+# ---------------------------------------------------------------------------
+
+
+def test_default_jobs_env_override_beats_cpu_count(monkeypatch):
+    monkeypatch.setenv("ADVOCAT_JOBS", "3")
+    assert default_jobs() == 3
+    monkeypatch.delenv("ADVOCAT_JOBS")
+    assert default_jobs() == max(1, os.cpu_count() or 1)
+
+
+def test_default_jobs_rejects_invalid_env(monkeypatch):
+    for bad in ("0", "-2", "banana"):
+        monkeypatch.setenv("ADVOCAT_JOBS", bad)
+        with pytest.raises(ValueError):
+            default_jobs()
+    monkeypatch.setenv("ADVOCAT_JOBS", "")  # empty: treated as unset
+    assert default_jobs() == max(1, os.cpu_count() or 1)
+
+
+def test_explicit_jobs_argument_beats_env(monkeypatch):
+    monkeypatch.setenv("ADVOCAT_JOBS", "1")
+    # The env cap shapes defaults only: it must not demote an explicit
+    # jobs=2 request to the inline fallback at dispatch time (simulate a
+    # multi-core machine so the physical-CPU fallback stays out of play).
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    with ParallelVerificationSession(
+        _network(), jobs=2, backend="thread"
+    ) as pool:
+        assert pool.jobs == 2
+        pool.verify()
+        assert pool._executor is not None  # real pool, not inline fallback
+
+
+def test_env_supplies_the_default_job_count(monkeypatch):
+    monkeypatch.setenv("ADVOCAT_JOBS", "2")
+    with ParallelVerificationSession(_network(), backend="thread") as pool:
+        assert pool.jobs == 2
+
+
+def test_nested_jobs_splits_the_budget():
+    assert nested_jobs(2, budget=8) == 4
+    assert nested_jobs(3, budget=8) == 2
+    assert nested_jobs(8, budget=4) == 1  # never below 1
+    with pytest.raises(ValueError):
+        nested_jobs(0)
+
+
+def test_nested_jobs_defaults_to_env_budget(monkeypatch):
+    monkeypatch.setenv("ADVOCAT_JOBS", "6")
+    assert nested_jobs(2) == 3
 
 
 def test_sizing_merge_rejects_conflicting_verdicts():

@@ -86,3 +86,28 @@ def test_xy_never_turns_y_to_x():
                     assert not moved_x, f"Y->X turn on {src}->{dst}"
                 if a[1] != b[1]:
                     seen_y = True
+
+
+def test_octant_positions_fold_the_full_symmetry_group():
+    from repro.fabrics import octant_positions
+
+    # Square meshes fold x-, y- and diagonal reflections.
+    assert octant_positions(2, 2) == [(0, 0)]
+    assert octant_positions(3, 3) == [(0, 0), (1, 0), (1, 1)]
+    # Rectangles have no diagonal symmetry: the middle-row orbit of the
+    # 2x3 mesh needs its own representative.
+    assert octant_positions(2, 3) == [(0, 0), (0, 1)]
+    assert octant_positions(4, 4) == [(0, 0), (1, 0), (1, 1)]
+    # Every node must be reachable from a representative via reflections.
+    for width, height in ((2, 2), (2, 3), (3, 3), (3, 4)):
+        reps = octant_positions(width, height)
+        covered = set()
+        for x, y in reps:
+            images = {(x, y), (width - 1 - x, y), (x, height - 1 - y),
+                      (width - 1 - x, height - 1 - y)}
+            if width == height:
+                images |= {(iy, ix) for ix, iy in images}
+            covered |= images
+        assert covered == {
+            (x, y) for x in range(width) for y in range(height)
+        }, (width, height)
