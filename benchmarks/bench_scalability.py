@@ -30,7 +30,8 @@ def _mesh_spec(width: int, height: int, queue_size: int, vcs: int = 1,
         sizes=(queue_size,),
         invariants=invariants,
         label=f"{width}x{height} q{queue_size}"
-              + (f" {vcs}VC" if vcs > 1 else ""),
+              + (f" {vcs}VC" if vcs > 1 else "")
+              + (f" [{invariants}]" if invariants != "eager" else ""),
     )
 
 
@@ -63,17 +64,25 @@ def test_model_size_scaling(benchmark):
 
 
 def test_verification_time_scaling(benchmark):
-    experiment = Experiment(
-        "scalability-mesh-axis",
-        [_mesh_spec(w, h, queue_size=3) for w, h in ((2, 2), (2, 3), (3, 3))],
-    )
+    # The paper's headline axis ends at 6x6; the 4x4/6x6 points verify at
+    # their free size with ranked-partial invariants (ADVOCAT_BIG only —
+    # minutes in pure Python; see BENCH_invariants.json for the ablation).
+    specs = [_mesh_spec(w, h, queue_size=3) for w, h in ((2, 2), (2, 3), (3, 3))]
+    if os.environ.get("ADVOCAT_BIG"):
+        specs.append(_mesh_spec(4, 4, queue_size=15, invariants="partial"))
+        specs.append(_mesh_spec(6, 6, queue_size=35, invariants="partial"))
+    experiment = Experiment("scalability-mesh-axis", specs)
 
     def measure():
         result = experiment.run(jobs=1)
         return [
             f"{scenario.label}: build {scenario.build_seconds:.2f}s + "
             f"query {scenario.query_seconds:.2f}s -> "
-            f"{'deadlock_free' if scenario.probes[3] else 'deadlock_candidate'}"
+            + (
+                "deadlock_free"
+                if all(scenario.probes.values())
+                else "deadlock_candidate"
+            )
             for scenario in result.scenarios
         ]
 

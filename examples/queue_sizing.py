@@ -15,12 +15,16 @@ cache count but not with the directory position (see EXPERIMENTS.md for
 the comparison against the paper's per-direction numbers).
 
 ``--sweep`` probes the full Figure-4 *curve* (every size up to
-``--max-size``) instead of binary-searching the boundary; ``--lazy``
-enables batched invariant strengthening (invariants generated only when a
-deadlock candidate survives plain block/idle); ``--save``/``--resume``
+``--max-size``) instead of binary-searching the boundary;
+``--invariants`` picks the strengthening mode — ``eager`` (full set up
+front), ``lazy`` (full set on the first surviving candidate),
+``partial`` (ranked rows, CEGAR-style escalation — the mode that opens
+the 4x4 and 6x6 meshes, where the full set is the dominant encoding
+cost; tune with ``--rank-budget``) or ``none``; ``--save``/``--resume``
 checkpoint the grid so an interrupted run re-builds nothing.
 
 Run:  python examples/queue_sizing.py [--max-mesh 3] [--jobs 4] [--sweep]
+      python examples/queue_sizing.py --max-mesh 6 --invariants partial
 """
 
 import argparse
@@ -34,8 +38,16 @@ def fig4_experiment(
     sweep: bool = False,
     max_size: int = 6,
     invariants: str = "eager",
+    rank_budget: int | None = None,
 ) -> Experiment:
-    """The Figure-4 grid: mesh sizes × directory positions."""
+    """The Figure-4 grid: mesh sizes × directory positions.
+
+    Meshes beyond 3x3 (the paper's 4x4 and 6x6 scenarios) are included
+    whenever ``max_mesh`` asks for them; on those, ``invariants=
+    "partial"`` is the practical setting — the boundary searches probe
+    deep size ranges and the ranked selection keeps each probe's
+    encoding small.
+    """
     scenarios = []
     for n in range(2, max_mesh + 1):
         for position in octant_positions(n, n):
@@ -46,6 +58,7 @@ def fig4_experiment(
                     mode="sweep" if sweep else "search",
                     sizes=tuple(range(1, max_size + 1)) if sweep else (),
                     invariants=invariants,
+                    rank_budget=rank_budget,
                     label=f"{n}x{n} directory at {position}",
                 )
             )
@@ -62,8 +75,15 @@ def main() -> None:
                         help="probe the full size curve instead of the boundary")
     parser.add_argument("--max-size", type=int, default=6,
                         help="largest queue size probed with --sweep (default 6)")
+    parser.add_argument("--invariants", default=None,
+                        choices=["eager", "lazy", "partial", "none"],
+                        help="invariant strengthening mode (default eager; "
+                             "partial = ranked rows with CEGAR escalation, "
+                             "recommended for --max-mesh 4/6)")
+    parser.add_argument("--rank-budget", type=int, default=None,
+                        help="partial mode: initial escalation batch size")
     parser.add_argument("--lazy", action="store_true",
-                        help="batched invariant strengthening (lazy mode)")
+                        help="alias for --invariants lazy")
     parser.add_argument("--save", metavar="PATH",
                         help="checkpoint results to PATH after each scenario")
     parser.add_argument("--resume", metavar="PATH",
@@ -72,11 +92,13 @@ def main() -> None:
                         help="print per-scenario solver lifecycle totals")
     args = parser.parse_args()
 
+    invariants = args.invariants or ("lazy" if args.lazy else "eager")
     experiment = fig4_experiment(
         args.max_mesh,
         sweep=args.sweep,
         max_size=args.max_size,
-        invariants="lazy" if args.lazy else "eager",
+        invariants=invariants,
+        rank_budget=args.rank_budget,
     )
     result = experiment.run(
         jobs=args.jobs,
@@ -94,9 +116,13 @@ def main() -> None:
         )
         print(f"{scenario.label}: minimal queue size = "
               f"{scenario.minimal_size}   (probes: {probed})")
-        if args.lazy:
+        if invariants != "eager":
             print(f"    invariants used: {scenario.invariants_used} "
-                  f"(escalations: {scenario.lazy_escalations})")
+                  f"(escalations: {scenario.lazy_escalations}, "
+                  f"rows encoded: {scenario.invariants_generated}"
+                  + (f", rank histogram: {scenario.rank_histogram}"
+                     if invariants == "partial" else "")
+                  + ")")
         if args.stats:
             totals = scenario.stats.get("solver_totals", {})
             print("    learned-clause lifecycle (scenario totals): "

@@ -23,7 +23,12 @@ Public entry points:
 
 from .colors import ColorDerivationError, ColorMap, derive_colors
 from .deadlock import DeadlockCase, DeadlockEncoding, encode_deadlock
-from .engine import SessionSnapshot, SessionSpec, VerificationSession
+from .engine import (
+    SessionSnapshot,
+    SessionSpec,
+    VerificationSession,
+    escalate_partial,
+)
 from .experiments import (
     Experiment,
     ExperimentResult,
@@ -34,7 +39,16 @@ from .experiments import (
     resolve_builder,
     run_scenario,
 )
-from .invariants import build_flow_rows, generate_invariants
+from .invariants import (
+    DEFAULT_RANK_BUDGET,
+    DEFAULT_RANK_GROWTH,
+    InvariantSelector,
+    build_flow_rows,
+    encode_invariant_rows,
+    generate_invariants,
+    invariant_features,
+    rank_invariants,
+)
 from .parallel import (
     ParallelVerificationSession,
     WorkerSession,
@@ -87,4 +101,11 @@ __all__ = [
     "VarPool",
     "color_label",
     "build_flow_rows",
+    "InvariantSelector",
+    "invariant_features",
+    "rank_invariants",
+    "encode_invariant_rows",
+    "escalate_partial",
+    "DEFAULT_RANK_BUDGET",
+    "DEFAULT_RANK_GROWTH",
 ]

@@ -46,7 +46,6 @@ from ..smt import (
     iff,
     implies,
     le,
-    neg,
 )
 from ..xmas import (
     Automaton,

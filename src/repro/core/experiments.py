@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import warnings
 from concurrent.futures import BrokenExecutor, as_completed
 from dataclasses import dataclass, field, fields
 from pathlib import Path
@@ -55,6 +56,7 @@ from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..xmas import Network
+from .invariants import DEFAULT_RANK_BUDGET, DEFAULT_RANK_GROWTH
 from .parallel import (
     default_jobs,
     discard_scenario_executor,
@@ -67,6 +69,13 @@ from .sizing import (
     minimal_queue_size,
     sweep_queue_sizes,
 )
+
+
+def resolve_rank_knob(value: "int | None", kind: str) -> int:
+    """A partial-mode schedule knob with the selector default applied."""
+    if value is not None:
+        return int(value)
+    return DEFAULT_RANK_BUDGET if kind == "budget" else DEFAULT_RANK_GROWTH
 
 __all__ = [
     "Experiment",
@@ -232,8 +241,16 @@ class ScenarioSpec:
     size_param:
         The builder kwarg the probed size is passed as.
     invariants:
-        ``"eager"`` / ``"lazy"`` / ``"none"`` — see
+        ``"eager"`` / ``"lazy"`` / ``"partial"`` / ``"none"`` — see
         :mod:`repro.core.sizing`.
+    rank_budget, rank_growth:
+        Partial-mode selection schedule (initial batch size / per-step
+        growth; ``None`` = the
+        :class:`~repro.core.invariants.InvariantSelector` defaults).
+        Verdict-invariant by construction, so — like the scheduling
+        hints — they are *excluded* from :meth:`key`; the policy actually
+        used is recorded on the :class:`ScenarioResult` and a resumed run
+        warns when it differs from the requested one.
     query_jobs:
         Inner query-level worker count for this scenario's sweep;
         ``None`` defers to the scheduler's nested-jobs budget.
@@ -249,6 +266,8 @@ class ScenarioSpec:
     max_size: int = 512
     size_param: str = "queue_size"
     invariants: str = "eager"
+    rank_budget: int | None = None
+    rank_growth: int | None = None
     query_jobs: int | None = None
     label: str | None = None
 
@@ -279,13 +298,21 @@ class ScenarioSpec:
             raise ValueError(
                 f"query_jobs must be >= 1, got {self.query_jobs}"
             )
+        for knob in ("rank_budget", "rank_growth"):
+            value = getattr(self, knob)
+            if value is not None and value < 1:
+                raise ValueError(f"{knob} must be >= 1, got {value}")
 
     # ------------------------------------------------------------------
     def key(self) -> str:
         """Canonical identity of this grid point (resume / dedup key).
 
-        Scheduling hints (``query_jobs``, ``label``) are excluded: they
-        do not change the scenario's verdicts.
+        Scheduling hints (``query_jobs``, ``label``) and the partial-mode
+        selection schedule (``rank_budget``, ``rank_growth``) are
+        excluded: they do not change the scenario's verdicts (escalation
+        terminates at the full set, so any schedule is byte-identical).
+        :meth:`Experiment.run` warns when a resumed result was recorded
+        under a different selection policy.
         """
         payload = {
             "builder": self.builder,
@@ -356,6 +383,14 @@ class ScenarioResult:
     invariants_mode: str
     invariants_used: bool
     lazy_escalations: int
+    # Selection ablation (see repro.core.invariants): rows actually
+    # encoded, their static-rank-tier histogram, and the partial-mode
+    # schedule the run used (None outside partial mode) — the "recorded
+    # selection policy" resume runs are checked against.
+    invariants_generated: int = 0
+    rank_histogram: dict[int, int] = field(default_factory=dict)
+    rank_budget: int | None = None
+    rank_growth: int | None = None
     stats: dict = field(default_factory=dict)
 
     @classmethod
@@ -373,6 +408,7 @@ class ScenarioResult:
             for key, value in result.stats.get("solver", {}).items():
                 if isinstance(value, (int, float)):
                     solver_totals[key] = solver_totals.get(key, 0) + value
+        partial = spec.invariants == "partial"
         return cls(
             key=spec.key(),
             label=spec.display_label,
@@ -384,12 +420,23 @@ class ScenarioResult:
             invariants_mode=sizing.invariants_mode,
             invariants_used=sizing.invariants_used,
             lazy_escalations=sizing.lazy_escalations,
+            invariants_generated=sizing.invariants_generated,
+            rank_histogram=dict(sorted(sizing.rank_histogram.items())),
+            rank_budget=resolve_rank_knob(spec.rank_budget, "budget")
+            if partial
+            else None,
+            rank_growth=resolve_rank_knob(spec.rank_growth, "growth")
+            if partial
+            else None,
             stats={"network": network_stats, "solver_totals": solver_totals},
         )
 
     def to_json(self) -> dict:
         data = {f.name: getattr(self, f.name) for f in fields(self)}
         data["probes"] = {str(size): free for size, free in self.probes.items()}
+        data["rank_histogram"] = {
+            str(tier): count for tier, count in self.rank_histogram.items()
+        }
         return data
 
     @classmethod
@@ -398,6 +445,11 @@ class ScenarioResult:
         payload["probes"] = {
             int(size): bool(free) for size, free in payload["probes"].items()
         }
+        if "rank_histogram" in payload:
+            payload["rank_histogram"] = {
+                int(tier): int(count)
+                for tier, count in payload["rank_histogram"].items()
+            }
         return cls(**payload)
 
     def verdicts(self) -> list:
@@ -514,6 +566,8 @@ def run_scenario(
             low=spec.low,
             max_size=spec.max_size,
             invariants=spec.invariants,
+            rank_budget=spec.rank_budget,
+            rank_growth=spec.rank_growth,
         )
     else:
         sizing = sweep_queue_sizes(
@@ -522,6 +576,8 @@ def run_scenario(
             jobs=inner,
             backend=backend,
             invariants=spec.invariants,
+            rank_budget=spec.rank_budget,
+            rank_growth=spec.rank_growth,
         )
     return ScenarioResult.from_sizing(spec, sizing, perf_counter() - start)
 
@@ -562,6 +618,8 @@ class Experiment:
         max_size: int = 512,
         size_param: str = "queue_size",
         invariants: str = "eager",
+        rank_budget: int | None = None,
+        rank_growth: int | None = None,
         query_jobs: int | None = None,
     ) -> "Experiment":
         """Expand ``axes`` (kwarg name → values) into a cartesian grid.
@@ -587,6 +645,8 @@ class Experiment:
                     max_size=max_size,
                     size_param=size_param,
                     invariants=invariants,
+                    rank_budget=rank_budget,
+                    rank_growth=rank_growth,
                     query_jobs=query_jobs,
                 )
             )
@@ -661,6 +721,34 @@ class Experiment:
             spec for spec in self.scenarios if spec.key() not in completed
         ]
         reused = sum(1 for key in grid_keys if key in completed)
+        # Reusing a completed key is sound: keys pin every
+        # verdict-relevant field (including the invariants *mode*), and
+        # any partial-mode escalation schedule is verdict-identical.  The
+        # schedule is deliberately outside the key, though, so a result
+        # recorded under a different rank_budget/rank_growth can be
+        # spliced in — its ablation counters reflect the recorded policy,
+        # which must be loud, not silent.
+        for spec in self.scenarios:
+            if spec.invariants != "partial":
+                continue
+            prior = completed.get(spec.key())
+            if prior is None:
+                continue
+            wanted = (
+                resolve_rank_knob(spec.rank_budget, "budget"),
+                resolve_rank_knob(spec.rank_growth, "growth"),
+            )
+            recorded = (prior.rank_budget, prior.rank_growth)
+            if recorded != wanted:
+                warnings.warn(
+                    f"resume: reusing scenario {prior.label!r} recorded "
+                    f"under a different selection policy: rank schedule "
+                    f"{recorded} (requested {wanted}) — verdicts are "
+                    "identical by construction, but its "
+                    "invariant-selection counters reflect the recorded "
+                    "policy",
+                    stacklevel=2,
+                )
         if jobs is None:
             jobs = min(default_jobs(), max(1, len(pending)))
         if jobs < 1:

@@ -48,6 +48,7 @@ import os
 import sys
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from fractions import Fraction
 from multiprocessing import get_all_start_methods, get_context
 from time import perf_counter
 from typing import Hashable, Iterator, Mapping, Sequence
@@ -63,6 +64,7 @@ from .engine import (
     VerificationSession,
     resolve_resize,
 )
+from .invariants import InvariantSelector
 from .proof import extract_witness
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
 
@@ -228,6 +230,7 @@ class WorkerSession:
     def __init__(self, snapshot: SessionSnapshot):
         self.snapshot = snapshot
         self.solver, ints = restore_solver(snapshot.solver)
+        self._ints = ints
         self._capacities = {
             name: ints[uid] for name, uid in snapshot.capacity_uids
         }
@@ -235,6 +238,9 @@ class WorkerSession:
         self._witness_vars = [
             (uid, ints[uid]) for uid in snapshot.witness_int_uids
         ]
+        # Partial-invariant escalation state, built lazily from the
+        # snapshot's pending rows on the first escalating job.
+        self._selector: InvariantSelector | None = None
 
     def fork(self) -> "WorkerSession":
         """An independent clone over the same solver state (in-process).
@@ -246,10 +252,14 @@ class WorkerSession:
         clone = object.__new__(WorkerSession)
         clone.snapshot = self.snapshot
         clone.solver = self.solver.fork()
-        clone._capacities = self._capacities  # immutable vocabulary
+        clone._ints = self._ints  # immutable vocabulary
+        clone._capacities = self._capacities
         clone._witness_vars = self._witness_vars
         # Guard definitions already minted live in the forked clauses.
         clone._size_guard_names = dict(self._size_guard_names)
+        # Escalation state is per-clone: the template never runs jobs, so
+        # clones start with every pending row still selectable.
+        clone._selector = None
         return clone
 
     # ------------------------------------------------------------------
@@ -312,6 +322,82 @@ class WorkerSession:
         }
         return ("sat", ints, bools, stats, elapsed)
 
+    # ------------------------------------------------------------------
+    # Partial-invariant escalation (see repro.core.invariants)
+    # ------------------------------------------------------------------
+    def _ensure_selector(
+        self, rank_budget: int | None, rank_growth: int | None
+    ) -> InvariantSelector:
+        if self._selector is None:
+            self._selector = InvariantSelector(
+                self.snapshot.pending_invariant_rows,
+                rank_budget=rank_budget,
+                rank_growth=rank_growth,
+            )
+        return self._selector
+
+    def _row_term(self, row):
+        """Re-build one plain-data invariant row over the restored vars."""
+        entries, const_num, const_den = row
+        expr = None
+        for uid, num, den, _ in entries:
+            piece = Fraction(num, den) * self._ints[uid]
+            expr = piece if expr is None else expr + piece
+        return eq(expr, -Fraction(const_num, const_den))
+
+    def _model_value_of(self):
+        model = self.solver.model()
+        ints = self._ints
+
+        def value_of(uid: int) -> int:
+            return int(model[ints[uid]])
+
+        return value_of
+
+    def check_escalating(
+        self,
+        target: Target,
+        sizes: SizesKey | None,
+        want_witness: bool,
+        selector: InvariantSelector,
+    ) -> tuple:
+        """One probe under partial invariants (worker-local CEGAR loop).
+
+        Mirrors :func:`repro.core.engine.escalate_partial`: while the
+        candidate survives, conjoin the next violated batch and re-ask;
+        stop when the verdict frees, the model satisfies every remaining
+        row, or the full set is in force.  The strengthening is permanent,
+        so later probes on this worker continue from it.  Returns the
+        probe payload extended with this probe's selection delta.
+        """
+        before = selector.counters()
+        payload = self.check(target, sizes, want_witness)
+        while payload[0] == "sat" and not selector.exhausted:
+            batch = selector.next_batch(self._model_value_of())
+            if not batch:
+                break  # candidate survives the full set: final
+            for index in batch:
+                self.solver.add_global(self._row_term(selector.rows[index]))
+            payload = self.check(target, sizes, want_witness)
+        delta = InvariantSelector.counters_delta(selector.counters(), before)
+        return (*payload, delta)
+
+    def _seed_phases_from_sat(self, payload: tuple) -> None:
+        # Phase-seed the next probe from this witness's block booleans:
+        # shards walk sizes in ascending order, so the previous blocking
+        # shape is a strong prior for the next capacity step.  Without a
+        # witness payload the model is still live — read the bools
+        # directly.
+        bools = payload[2]
+        if bools is None:
+            model = self.solver.model()
+            bools = {
+                name: bool(model[name])
+                for name in self.snapshot.witness_bool_names
+            }
+        if bools:
+            self.solver.phase_hints(bools)
+
     def run(self, job: Job):
         kind = job[0]
         if kind == "check":
@@ -324,20 +410,22 @@ class WorkerSession:
                 payload = self.check(target, sizes, want_witness)
                 payloads.append(payload)
                 if payload[0] == "sat":
-                    # Phase-seed the next probe from this witness's block
-                    # booleans: shards walk sizes in ascending order, so
-                    # the previous blocking shape is a strong prior for
-                    # the next capacity step.  Without a witness payload
-                    # the model is still live — read the bools directly.
-                    bools = payload[2]
-                    if bools is None:
-                        model = self.solver.model()
-                        bools = {
-                            name: bool(model[name])
-                            for name in self.snapshot.witness_bool_names
-                        }
-                    if bools:
-                        self.solver.phase_hints(bools)
+                    self._seed_phases_from_sat(payload)
+            return payloads
+        if kind == "eshard":
+            # An escalating shard: same ordered walk as "shard", but every
+            # surviving candidate first runs the worker-local escalation
+            # loop over the snapshot's pending invariant rows.
+            _, probes, want_witness, rank_budget, rank_growth = job
+            selector = self._ensure_selector(rank_budget, rank_growth)
+            payloads = []
+            for target, sizes in probes:
+                payload = self.check_escalating(
+                    target, sizes, want_witness, selector
+                )
+                payloads.append(payload)
+                if payload[0] == "sat":
+                    self._seed_phases_from_sat(payload)
             return payloads
         raise ValueError(f"unknown worker job kind {kind!r}")
 
@@ -401,6 +489,12 @@ class ParallelVerificationSession:
     reduction_opts:
         Lifecycle knobs (``reduce_base`` etc.) for the local session and,
         via the snapshot, every worker — shard-locality tuning.
+    partial_invariants:
+        Ship the spec's *ranked, not-yet-conjoined* invariant rows with
+        the pool snapshot so workers can escalate through them locally
+        (``invariants="partial"`` sweeps; see
+        :meth:`probe_shards`'s ``escalation``).  Triggers ranked
+        generation at pool-snapshot time.
     rotating_precision, max_splits, parametric_queues, spec:
         As for :class:`~repro.core.engine.VerificationSession`.
 
@@ -421,6 +515,7 @@ class ParallelVerificationSession:
         learned_cap: int = 4000,
         force_pool: bool = False,
         reduction_opts: Mapping | None = None,
+        partial_invariants: bool = False,
         spec: SessionSpec | None = None,
     ):
         if backend not in ("process", "thread"):
@@ -447,6 +542,7 @@ class ParallelVerificationSession:
         self.warm_start = warm_start
         self._learned_cap = learned_cap
         self._force_pool = force_pool
+        self._partial_invariants = partial_invariants
         self._reduction_opts = dict(reduction_opts or {}) or None
         self._max_splits = max_splits
         self._parametric = spec.parametric
@@ -563,11 +659,14 @@ class ParallelVerificationSession:
             return self.spec.snapshot(
                 max_splits=self._max_splits,
                 reduction_opts=self._reduction_opts,
+                include_pending_invariants=self._partial_invariants,
             )
         local = self._local_session()
         local.verify()
         return local.snapshot(
-            include_learned=True, learned_cap=self._learned_cap
+            include_learned=True,
+            learned_cap=self._learned_cap,
+            include_pending_invariants=self._partial_invariants,
         )
 
     def _sequential_fallback(self, want: int) -> bool:
@@ -637,7 +736,7 @@ class ParallelVerificationSession:
         self, payload: tuple, sizes: Mapping[str, int] | None = None
     ) -> VerificationResult:
         """One worker payload → a parent-space VerificationResult."""
-        kind, a, b, solver_stats, elapsed = payload
+        kind, a, b, solver_stats, elapsed = payload[:5]
         invariants = self.spec.invariants or []
         stats = {
             "network": self.network.stats(),
@@ -650,6 +749,9 @@ class ParallelVerificationSession:
             stats["queue_sizes"] = dict(
                 self._sizes if sizes is None else sizes
             )
+        if len(payload) > 5 and payload[5] is not None:
+            # Escalating probes report their worker-local selection delta.
+            stats["invariant_selection"] = payload[5]
         if kind == "unsat":
             core = [
                 self._label_by_guard_name.get(name, name) for name in a
@@ -740,6 +842,7 @@ class ParallelVerificationSession:
         self,
         shards: Sequence[Sequence[Mapping[str, int]]],
         want_witness: bool = True,
+        escalation: tuple[int | None, int | None] | None = None,
     ) -> list[list[VerificationResult]]:
         """Run the full check under each capacity assignment, sharded.
 
@@ -748,9 +851,23 @@ class ParallelVerificationSession:
         order within a shard warm-starts each probe with the clauses
         learned on the previous ones.  Returns results aligned with the
         input structure.
+
+        ``escalation=(rank_budget, rank_growth)`` switches the workers to
+        partial-invariant probes: every surviving candidate runs the
+        worker-local CEGAR loop over the snapshot's pending invariant
+        rows before its verdict lands (requires
+        ``partial_invariants=True`` at construction, which ships those
+        rows with the pool snapshot).  Each result's
+        ``stats["invariant_selection"]`` carries the per-probe delta.
         """
         if not self._parametric:
             raise RuntimeError("probe_shards() requires parametric_queues=True")
+        if escalation is not None and not self._partial_invariants:
+            raise RuntimeError(
+                "probe_shards(escalation=...) requires "
+                "partial_invariants=True (the pool snapshot must carry "
+                "the ranked invariant rows)"
+            )
         full_shards = [
             [
                 resolve_resize(self._sizes, dict(assignment), True)
@@ -758,14 +875,31 @@ class ParallelVerificationSession:
             ]
             for shard in shards
         ]
-        job_list: list[Job] = [
-            (
-                "shard",
-                tuple((None, tuple(sorted(full.items()))) for full in shard),
-                want_witness,
-            )
-            for shard in full_shards
-        ]
+        if escalation is None:
+            job_list: list[Job] = [
+                (
+                    "shard",
+                    tuple(
+                        (None, tuple(sorted(full.items()))) for full in shard
+                    ),
+                    want_witness,
+                )
+                for shard in full_shards
+            ]
+        else:
+            rank_budget, rank_growth = escalation
+            job_list = [
+                (
+                    "eshard",
+                    tuple(
+                        (None, tuple(sorted(full.items()))) for full in shard
+                    ),
+                    want_witness,
+                    rank_budget,
+                    rank_growth,
+                )
+                for shard in full_shards
+            ]
         payload_lists = self._dispatch(job_list)
         return [
             [

@@ -37,7 +37,7 @@ blocking shape (``seed_phases_from_witness`` locally, ``phase_hints`` in
 the shard workers), so each capacity step starts its search at the model
 the last step ended on instead of from scratch.
 
-**Invariant modes.**  Both entry points take ``invariants=`` with three
+**Invariant modes.**  Both entry points take ``invariants=`` with four
 settings.  ``"eager"`` (the default, equivalent to the old
 ``use_invariants=True``) conjoins the cross-layer invariants before the
 first probe.  ``"none"`` never generates them — plain block/idle detection.
@@ -46,10 +46,19 @@ automaton-equation invariants and the set is generated and conjoined only
 when a deadlock candidate survives plain block/idle (a deadlock-free
 verdict without invariants stays deadlock-free with them — invariants only
 strengthen — so lazy verdicts are identical to eager ones while networks
-that verify outright never pay for invariant generation).  The result
-records whether invariants ended up in force (``invariants_used``) and how
-many probes forced the escalation (``lazy_escalations``), so experiment
-grids can report the on/off ablation per scenario.
+that verify outright never pay for invariant generation).  ``"partial"``
+goes further: instead of conjoining the *full* set on the first surviving
+candidate, it escalates CEGAR-style through the statically ranked rows
+(:class:`~repro.core.invariants.InvariantSelector` — only rows the
+candidate's model violates, witness-overlap first, geometrically growing
+``rank_budget`` batches), terminating at the full set, so verdicts stay
+byte-identical to eager mode while the big meshes typically encode a
+small fraction of the rows.  The result records whether invariants ended
+up in force (``invariants_used``), how many probes forced an escalation
+step (``lazy_escalations``), how many rows were encoded
+(``invariants_generated``) and how deep into the ranking the refinement
+reached (``rank_histogram``), so experiment grids can report the
+selection ablation per scenario.
 
 **Timing split.**  Results separate ``build_seconds`` (network
 construction, encoding, invariant generation) from ``query_seconds``
@@ -64,7 +73,7 @@ from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 from ..xmas import Network
-from .engine import VerificationSession
+from .engine import VerificationSession, escalate_partial
 from .proof import verify
 from .result import VerificationResult
 
@@ -75,7 +84,7 @@ __all__ = [
     "resolve_invariants_mode",
 ]
 
-INVARIANT_MODES = ("eager", "lazy", "none")
+INVARIANT_MODES = ("eager", "lazy", "partial", "none")
 
 
 def resolve_invariants_mode(
@@ -107,10 +116,16 @@ class SizingResult:
     build phase (network construction, encoding, invariant generation) and
     the solver queries; ``invariants_used`` and ``lazy_escalations`` record
     the invariant-mode ablation (see the module docstring).
-    ``lazy_escalations`` counts probes re-answered under the strengthened
-    encoding *under this schedule*: a sequential walk strengthens at the
-    first surviving candidate (at most 1), the batched pool pass
-    re-answers every surviving size — verdicts are identical either way.
+    ``lazy_escalations`` counts escalation steps — probes re-answered
+    under a strengthened encoding — *under this schedule*: a sequential
+    lazy walk strengthens at the first surviving candidate (at most 1),
+    the batched lazy pool pass re-answers every surviving size, and a
+    partial walk counts every CEGAR refinement step — verdicts are
+    identical in every case.  ``invariants_generated`` counts the
+    invariant rows actually encoded (eager/escalated lazy: the full set;
+    partial: the selected subset; schedule-dependent, summed across
+    shards by :meth:`merge`) and ``rank_histogram`` buckets those rows by
+    static-rank tier (partial mode only).
     """
 
     minimal_size: int | None
@@ -121,6 +136,8 @@ class SizingResult:
     invariants_mode: str = "eager"
     invariants_used: bool = True
     lazy_escalations: int = 0
+    invariants_generated: int = 0
+    rank_histogram: dict[int, int] = field(default_factory=dict)
 
     def pretty(self) -> str:
         probed = ", ".join(
@@ -148,6 +165,8 @@ class SizingResult:
         mode: str | None = None
         used = False
         escalations = 0
+        generated = 0
+        histogram: dict[int, int] = {}
         for part in parts:
             for size, free in part.probes.items():
                 if size in probes and probes[size] != free:
@@ -162,6 +181,9 @@ class SizingResult:
             mode = part.invariants_mode if mode is None else mode
             used = used or part.invariants_used
             escalations += part.lazy_escalations
+            generated += part.invariants_generated
+            for tier, count in part.rank_histogram.items():
+                histogram[tier] = histogram.get(tier, 0) + count
         free_sizes = [size for size, free in probes.items() if free]
         return cls(
             minimal_size=min(free_sizes) if free_sizes else None,
@@ -172,6 +194,8 @@ class SizingResult:
             invariants_mode=mode or "eager",
             invariants_used=used,
             lazy_escalations=escalations,
+            invariants_generated=generated,
+            rank_histogram=histogram,
         )
 
 
@@ -201,6 +225,8 @@ def minimal_queue_size(
     exhaustive: bool = False,
     incremental: bool = True,
     invariants: str | None = None,
+    rank_budget: int | None = None,
+    rank_growth: int | None = None,
     **verify_kwargs,
 ) -> SizingResult:
     """Smallest uniform queue size for which ``build(size)`` verifies.
@@ -221,9 +247,13 @@ def minimal_queue_size(
         (requires ``build`` to vary only queue capacities).  ``False``
         re-verifies each size from scratch.
     invariants:
-        ``"eager"`` / ``"lazy"`` / ``"none"`` — see the module docstring.
-        Defaults to eager; the legacy ``use_invariants=False`` kwarg still
-        maps to ``"none"``.
+        ``"eager"`` / ``"lazy"`` / ``"partial"`` / ``"none"`` — see the
+        module docstring.  Defaults to eager; the legacy
+        ``use_invariants=False`` kwarg still maps to ``"none"``.
+    rank_budget, rank_growth:
+        Partial-mode escalation schedule: the first batch size and the
+        per-step growth factor
+        (:class:`~repro.core.invariants.InvariantSelector` defaults).
     verify_kwargs:
         Forwarded to :func:`repro.core.proof.verify` (``use_invariants``,
         ``rotating_precision``, ``max_splits``).
@@ -234,7 +264,40 @@ def minimal_queue_size(
     probes: dict[int, bool] = {}
     results: dict[int, VerificationResult] = {}
     timer = _SplitTimer()
-    state = {"added": mode == "eager", "escalations": 0}
+    state = {
+        "added": mode == "eager",
+        "escalations": 0,
+        "generated": 0,
+        "histogram": {},
+        "selector": None,
+        "ranked": None,
+    }
+
+    def settle_partial(session: VerificationSession, result):
+        """Partial-mode refinement of one surviving candidate."""
+        if state["selector"] is None:
+
+            def build_selection():
+                state["ranked"] = session.spec.ranked_invariants()
+                state["selector"] = session.spec.invariant_selector(
+                    rank_budget=rank_budget, rank_growth=rank_growth
+                )
+
+            timer.timed("build", build_selection)
+        result = timer.timed(
+            "query",
+            lambda: escalate_partial(
+                session,
+                state["selector"],
+                state["ranked"],
+                result,
+                session.verify,
+            ),
+        )
+        state["escalations"] = state["selector"].escalations
+        state["generated"] = state["selector"].generated
+        state["histogram"] = dict(state["selector"].rank_histogram)
+        return result
 
     if incremental:
         base_network = timer.timed("build", lambda: build(low))
@@ -248,6 +311,7 @@ def minimal_queue_size(
         )
         if mode == "eager":
             timer.timed("build", session.add_invariants)
+            state["generated"] = len(session.invariants)
 
         def probe(size: int) -> bool:
             if size not in probes:
@@ -268,18 +332,21 @@ def minimal_queue_size(
                 session.resize_queues({q.name: q.size for q in built.queues()})
                 session.seed_phases_from_witness()
                 result = timer.timed("query", session.verify)
-                if (
-                    mode == "lazy"
-                    and not result.deadlock_free
-                    and not state["added"]
-                ):
-                    # Lazy strengthening: the candidate survived plain
-                    # block/idle, so generate + conjoin the invariants
-                    # (permanent, sound) and re-ask the same probe.
-                    timer.timed("build", session.add_invariants)
-                    state["added"] = True
-                    state["escalations"] += 1
-                    result = timer.timed("query", session.verify)
+                if not result.deadlock_free:
+                    if mode == "partial":
+                        # CEGAR-style partial strengthening: conjoin only
+                        # ranked rows the candidate's model violates,
+                        # escalating until the verdict settles.
+                        result = settle_partial(session, result)
+                    elif mode == "lazy" and not state["added"]:
+                        # Lazy strengthening: the candidate survived plain
+                        # block/idle, so generate + conjoin the invariants
+                        # (permanent, sound) and re-ask the same probe.
+                        timer.timed("build", session.add_invariants)
+                        state["added"] = True
+                        state["escalations"] += 1
+                        state["generated"] = len(session.invariants)
+                        result = timer.timed("query", session.verify)
                 probes[size] = result.deadlock_free
                 results[size] = result
             return probes[size]
@@ -289,27 +356,52 @@ def minimal_queue_size(
         def probe(size: int) -> bool:
             if size not in probes:
                 network = timer.timed("build", lambda: build(size))
-                result = timer.timed(
-                    "query",
-                    lambda: verify(
-                        network,
-                        use_invariants=state["added"],
-                        **verify_kwargs,
-                    ),
-                )
-                if (
-                    mode == "lazy"
-                    and not result.deadlock_free
-                    and not state["added"]
-                ):
-                    state["added"] = True
-                    state["escalations"] += 1
+                if mode == "partial":
+                    # No shared session to escalate on: open a throwaway
+                    # one per size and run the same refinement loop (a
+                    # fresh selector each size — counters accumulate).
+                    session = timer.timed(
+                        "build",
+                        lambda: VerificationSession(
+                            network, parametric_queues=False, **verify_kwargs
+                        ),
+                    )
+                    state["selector"] = state["ranked"] = None
+                    generated_before = state["generated"]
+                    escalations_before = state["escalations"]
+                    histogram_before = dict(state["histogram"])
+                    result = timer.timed("query", session.verify)
+                    if not result.deadlock_free:
+                        result = settle_partial(session, result)
+                        state["generated"] += generated_before
+                        state["escalations"] += escalations_before
+                        for tier, count in histogram_before.items():
+                            state["histogram"][tier] = (
+                                state["histogram"].get(tier, 0) + count
+                            )
+                else:
                     result = timer.timed(
                         "query",
                         lambda: verify(
-                            network, use_invariants=True, **verify_kwargs
+                            network,
+                            use_invariants=state["added"],
+                            **verify_kwargs,
                         ),
                     )
+                    if (
+                        mode == "lazy"
+                        and not result.deadlock_free
+                        and not state["added"]
+                    ):
+                        state["added"] = True
+                        state["escalations"] += 1
+                        result = timer.timed(
+                            "query",
+                            lambda: verify(
+                                network, use_invariants=True, **verify_kwargs
+                            ),
+                        )
+                        state["generated"] = len(result.invariants)
                 probes[size] = result.deadlock_free
                 results[size] = result
             return probes[size]
@@ -340,6 +432,11 @@ def minimal_queue_size(
                     f"monotonicity violated: size {candidate} verifies but "
                     f"binary search reported {minimal}"
                 )
+    if mode == "eager" and not incremental and results:
+        # Each from-scratch probe regenerated the full set; report its size.
+        state["generated"] = max(
+            len(result.invariants) for result in results.values()
+        )
     return SizingResult(
         minimal_size=minimal,
         probes=probes,
@@ -347,8 +444,12 @@ def minimal_queue_size(
         build_seconds=timer.build,
         query_seconds=timer.query,
         invariants_mode=mode,
-        invariants_used=state["added"],
+        invariants_used=(
+            state["generated"] > 0 if mode == "partial" else state["added"]
+        ),
         lazy_escalations=state["escalations"],
+        invariants_generated=state["generated"],
+        rank_histogram=dict(state["histogram"]),
     )
 
 
@@ -378,9 +479,12 @@ def _pool_sweep(
     add_invariants: bool,
     timer: _SplitTimer,
     verify_kwargs: dict,
+    escalation: tuple[int | None, int | None] | None = None,
 ) -> SizingResult:
     """One sharded pass over ``size_list`` (striped shards, warm-start
-    ascending order within each shard)."""
+    ascending order within each shard).  With ``escalation`` the workers
+    run partial-invariant probes: the pool snapshot carries the ranked
+    rows and every surviving candidate escalates worker-locally."""
     from .parallel import ParallelVerificationSession
 
     session = timer.timed(
@@ -390,6 +494,7 @@ def _pool_sweep(
             jobs=jobs,
             backend=backend,
             parametric_queues=True,
+            partial_invariants=escalation is not None,
             **verify_kwargs,
         ),
     )
@@ -403,19 +508,33 @@ def _pool_sweep(
             lambda: session.probe_shards(
                 [[assignments[size] for size in shard] for shard in shard_sizes],
                 want_witness=want_witness,
+                escalation=escalation,
             ),
         )
+        generated_full = len(session.invariants) if add_invariants else 0
     parts = []
     for shard, results_list in zip(shard_sizes, shard_results):
         part = SizingResult(minimal_size=None)
         for size, result in zip(shard, results_list):
             part.probes[size] = result.deadlock_free
             part.results[size] = result
+            selection = result.stats.get("invariant_selection")
+            if selection:
+                part.invariants_generated += selection["invariants_generated"]
+                part.lazy_escalations += selection["escalations"]
+                for tier, count in selection["rank_histogram"].items():
+                    part.rank_histogram[tier] = (
+                        part.rank_histogram.get(tier, 0) + count
+                    )
         free = [size for size, ok in part.probes.items() if ok]
         part.minimal_size = min(free) if free else None
         parts.append(part)
     merged = SizingResult.merge(parts)
-    merged.invariants_used = add_invariants
+    merged.invariants_used = (
+        add_invariants or merged.invariants_generated > 0
+    )
+    if add_invariants:
+        merged.invariants_generated = generated_full
     return merged
 
 
@@ -427,6 +546,8 @@ def sweep_queue_sizes(
     backend: str = "process",
     want_witness: bool = True,
     invariants: str | None = None,
+    rank_budget: int | None = None,
+    rank_growth: int | None = None,
     **verify_kwargs,
 ) -> SizingResult:
     """Verdict per queue size over an explicit size list, sharded.
@@ -443,6 +564,12 @@ def sweep_queue_sizes(
     every size without invariants, then only the sizes whose candidate
     survived are re-probed with the invariants conjoined (sharded again
     when ``jobs > 1``) — verdict-identical to eager mode.
+
+    ``invariants="partial"`` ranks the rows instead and escalates
+    CEGAR-style per surviving candidate (``rank_budget`` /
+    ``rank_growth`` shape the schedule); with ``jobs > 1`` the ranked
+    rows travel inside the pool snapshot and each worker escalates
+    locally — also verdict-identical to eager mode.
 
     ``build`` must vary only queue capacities (checked), as for the
     incremental ``minimal_queue_size``.  ``verify_kwargs`` forwards
@@ -479,8 +606,12 @@ def sweep_queue_sizes(
         )
         added = mode == "eager"
         escalations = 0
+        generated = 0
+        selector = None
+        ranked = None
         if added:
             timer.timed("build", session.add_invariants)
+            generated = len(session.invariants)
         part = SizingResult(minimal_size=None)
         for size in size_list:
             session.resize_queues(assignments[size])
@@ -488,20 +619,58 @@ def sweep_queue_sizes(
             # witness (the shard workers do the same via phase_hints).
             session.seed_phases_from_witness()
             result = timer.timed("query", session.verify)
-            if not result.deadlock_free and not added and mode == "lazy":
-                timer.timed("build", session.add_invariants)
-                added = True
-                escalations += 1
-                result = timer.timed("query", session.verify)
+            if not result.deadlock_free:
+                if mode == "partial":
+                    if selector is None:
+
+                        def build_selection():
+                            nonlocal selector, ranked
+                            ranked = session.spec.ranked_invariants()
+                            selector = session.spec.invariant_selector(
+                                rank_budget=rank_budget,
+                                rank_growth=rank_growth,
+                            )
+
+                        timer.timed("build", build_selection)
+                    result = timer.timed(
+                        "query",
+                        lambda: escalate_partial(
+                            session, selector, ranked, result, session.verify
+                        ),
+                    )
+                elif mode == "lazy" and not added:
+                    timer.timed("build", session.add_invariants)
+                    added = True
+                    escalations += 1
+                    generated = len(session.invariants)
+                    result = timer.timed("query", session.verify)
             if not want_witness:
                 # Match the parallel path's payload shape: the session
                 # always extracts on SAT, so drop it afterwards.
                 result.witness = None
             part.probes[size] = result.deadlock_free
             part.results[size] = result
+        if selector is not None:
+            escalations = selector.escalations
+            generated = selector.generated
+            part.rank_histogram = dict(selector.rank_histogram)
         merged = SizingResult.merge([part])
-        merged.invariants_used = added
+        merged.invariants_used = added or generated > 0
         merged.lazy_escalations = escalations
+        merged.invariants_generated = generated
+    elif mode == "partial":
+        merged = _pool_sweep(
+            base_network,
+            size_list,
+            assignments,
+            jobs,
+            backend,
+            want_witness,
+            False,
+            timer,
+            verify_kwargs,
+            escalation=(rank_budget, rank_growth),
+        )
     elif mode != "lazy":
         merged = _pool_sweep(
             base_network,

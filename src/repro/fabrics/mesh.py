@@ -103,7 +103,6 @@ def build_mesh(builder: NetworkBuilder, config: MeshConfig) -> MeshFabric:
     for node in topology.nodes():
         tag = _tag(node)
         directions = sorted(topology.neighbours(node), key=lambda d: d.name)
-        n_kinds = len(directions) + 1  # link inputs + injection
 
         switches: list[tuple[object, list[object]]] = []
         targets: list[object] = [*directions, _EJECT]

@@ -310,7 +310,7 @@ class Cdcl:
             self._theory_qhead += 1
             explanation = self.theory.assert_index(index, lit)
             if explanation is not None:
-                return [-l for l in explanation]
+                return [-lit for lit in explanation]
         return None
 
     # ------------------------------------------------------------------
@@ -374,7 +374,7 @@ class Cdcl:
             reason_index = self._reason[var]
             if self._lbd[reason_index]:
                 self._bump_clause(reason_index)
-            reason_lits = [l for l in self.clauses[reason_index] if l != p]
+            reason_lits = [lit for lit in self.clauses[reason_index] if lit != p]
         learnt.insert(0, asserting_lit)
         # Conflict-clause minimisation: drop literals implied by the rest.
         learnt = self._minimise(learnt, seen)
@@ -388,7 +388,7 @@ class Cdcl:
     def _minimise(self, learnt: list[int], seen: list[bool]) -> list[int]:
         """Cheap local minimisation: a literal whose reason is a subset of
         the clause (plus level-0 literals) is redundant."""
-        marked = set(abs(l) for l in learnt)
+        marked = set(abs(lit) for lit in learnt)
         result = [learnt[0]]
         for lit in learnt[1:]:
             reason_index = self._reason[abs(lit)]
@@ -525,7 +525,7 @@ class Cdcl:
             # false forever, so a clause watched there would never wake).
             # Propagation is at fixpoint, so every kept unsatisfied clause
             # has >= 2 non-false literals.
-            lits.sort(key=lambda l: self._value(l) == -1)
+            lits.sort(key=lambda lit: self._value(lit) == -1)
             new_clauses.append(lits)
             new_lbd.append(self._lbd[old])
             new_act.append(self._cla_act[old])
@@ -737,7 +737,7 @@ class Cdcl:
                     raise BudgetExceeded(self.stats["conflicts"])
                 # A theory conflict may live entirely below the current level.
                 top = max(
-                    (self._level[abs(l)] for l in conflict_lits), default=0
+                    (self._level[abs(lit)] for lit in conflict_lits), default=0
                 )
                 if top == 0:
                     self._ok = False
@@ -787,10 +787,10 @@ class Cdcl:
                 if self.theory is not None:
                     explanation = self.theory.final_check()
                     if explanation is not None:
-                        conflict_lits = [-l for l in explanation]
+                        conflict_lits = [-lit for lit in explanation]
                         self.stats["conflicts"] += 1
                         top = max(
-                            (self._level[abs(l)] for l in conflict_lits), default=0
+                            (self._level[abs(lit)] for lit in conflict_lits), default=0
                         )
                         if top == 0:
                             self._ok = False

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from .automaton import Automaton
 from .channel import Channel, Port
@@ -113,7 +113,6 @@ class Network:
                     f"port {port.qualified_name} wired to a foreign channel"
                 )
         for automaton in self.automata():
-            states_with_exit = {t.origin for t in automaton.transitions}
             if not automaton.transitions:
                 problems.append(f"automaton {automaton.name} has no transitions")
             unreachable = set(automaton.states) - self._reachable_states(automaton)
@@ -122,7 +121,6 @@ class Network:
                     f"automaton {automaton.name}: unreachable states "
                     f"{sorted(unreachable)}"
                 )
-            del states_with_exit
         if problems:
             raise ValueError(
                 f"network {self.name!r} failed validation:\n  " + "\n  ".join(problems)

@@ -1,11 +1,9 @@
 """Unit tests for the block/idle equation compiler."""
 
-import pytest
-
 from repro.core import VarPool, derive_colors, encode_deadlock, verify
 from repro.core.deadlock import DeadlockEncoding
 from repro.netlib import producer_consumer
-from repro.smt import Result, Solver, eq, ge
+from repro.smt import Result, Solver, ge
 from repro.xmas import NetworkBuilder
 
 

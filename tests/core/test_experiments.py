@@ -100,6 +100,20 @@ def test_scenario_spec_key_excludes_scheduling_hints():
     assert plain.key() == hinted.key()
 
 
+def test_scenario_spec_key_excludes_selection_schedule():
+    # rank_budget/rank_growth are verdict-invariant (escalation terminates
+    # at the full set), so resumes across schedules must match keys ...
+    plain = _running_spec(invariants="partial")
+    tuned = _running_spec(invariants="partial", rank_budget=32, rank_growth=3)
+    assert plain.key() == tuned.key()
+    # ... while the invariant *mode* stays part of the identity.
+    assert plain.key() != _running_spec(invariants="eager").key()
+    with pytest.raises(ValueError):
+        _running_spec(invariants="partial", rank_budget=0)
+    with pytest.raises(ValueError):
+        _running_spec(invariants="partial", rank_growth=0)
+
+
 def test_scenario_spec_validation():
     with pytest.raises(ValueError):
         ScenarioSpec("running_example", mode="nope")
@@ -285,6 +299,51 @@ def test_resume_skips_completed_scenarios(tmp_path):
     assert cold.verdict_bytes() == full.verdict_bytes()
 
 
+def test_resume_warns_on_selection_policy_mismatch(tmp_path):
+    # A completed key recorded under one selection schedule, resumed with
+    # another: the result is reused (verdicts are schedule-invariant) but
+    # the splice must be loud, not silent.
+    checkpoint = tmp_path / "partial.json"
+    grid = Experiment(
+        "policy", [_running_spec(invariants="partial", rank_budget=8)]
+    )
+    grid.run(jobs=1, save_path=checkpoint)
+    retuned = Experiment(
+        "policy", [_running_spec(invariants="partial", rank_budget=32)]
+    )
+    with pytest.warns(UserWarning, match="selection policy"):
+        resumed = retuned.run(jobs=1, resume=checkpoint)
+    assert resumed.computed == 0
+    assert resumed.reused == 1
+    # Same schedule: silent reuse.
+    import warnings as warnings_module
+
+    with warnings_module.catch_warnings():
+        warnings_module.simplefilter("error")
+        again = grid.run(jobs=1, resume=checkpoint)
+    assert again.computed == 0
+
+
+def test_partial_scenario_records_selection_policy_and_counters():
+    grid = Experiment(
+        "partial-record",
+        [_running_spec(invariants="partial", rank_budget=4, rank_growth=2)],
+    )
+    scenario = grid.run(jobs=1).scenarios[0]
+    assert scenario.invariants_mode == "partial"
+    assert scenario.rank_budget == 4
+    assert scenario.rank_growth == 2
+    assert scenario.invariants_used
+    assert scenario.invariants_generated >= 1
+    assert sum(scenario.rank_histogram.values()) == scenario.invariants_generated
+    eager = Experiment(
+        "eager-record", [_running_spec(invariants="eager")]
+    ).run(jobs=1).scenarios[0]
+    assert scenario.probes == eager.probes
+    assert scenario.invariants_generated < eager.invariants_generated
+    assert eager.rank_budget is None  # policy recorded only in partial mode
+
+
 def test_resume_from_missing_checkpoint_starts_fresh(tmp_path):
     # The documented `--save X --resume X` idiom: a first run that died
     # before its first checkpoint leaves no file, which must mean "empty
@@ -427,7 +486,10 @@ grids = st.lists(
 )
 
 
-@given(size_sets=grids, invariants=st.sampled_from(["eager", "lazy", "none"]))
+@given(
+    size_sets=grids,
+    invariants=st.sampled_from(["eager", "lazy", "partial", "none"]),
+)
 @settings(max_examples=10, deadline=None)
 def test_sharded_grid_equals_sequential_grid(size_sets, invariants):
     grid = Experiment(

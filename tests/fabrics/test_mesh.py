@@ -6,7 +6,7 @@ from repro.core import derive_colors
 from repro.fabrics import MeshConfig, build_mesh, route_path, xy_routing
 from repro.protocols import Message
 from repro.protocols.abstract_mi import request_response_vc
-from repro.xmas import NetworkBuilder, Queue
+from repro.xmas import NetworkBuilder
 
 
 def closed_mesh(config):

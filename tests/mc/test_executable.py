@@ -1,7 +1,5 @@
 """Tests for the executable xMAS semantics."""
 
-import pytest
-
 from repro.mc import Executable, Explorer
 from repro.netlib import producer_consumer, running_example, token_ring
 from repro.protocols import Message

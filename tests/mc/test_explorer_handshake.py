@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mc import Explorer, check_handshake_composition
-from repro.netlib import producer_consumer, running_example
+from repro.netlib import producer_consumer
 from repro.protocols import abstract_mi_mesh, mi_mesh
 from repro.protocols.abstract_mi import abstract_mi_ether
 from repro.protocols.mi_gem5 import mi_ether
@@ -77,7 +77,6 @@ def test_mi_q2_deadlocks_and_q3_free():
 
 def test_handshake_running_example():
     # the Figure-1 protocol under rendezvous is deadlock-free (Section 1)
-    network = running_example().network
     # build the queue-free equivalent: S and T exchanging directly
     from repro.xmas import Transition
 
@@ -111,7 +110,6 @@ def test_handshake_running_example():
     result = check_handshake_composition(builder.build())
     assert result.deadlock_free
     assert result.states_explored == 2  # (s0,t0) and (s1,t1)
-    del network
 
 
 def test_handshake_abstract_mi_free():

@@ -1,7 +1,5 @@
 """Tests for the abstract MI protocol (Figure 2)."""
 
-import pytest
-
 from repro.protocols import Message, abstract_mi_mesh
 from repro.protocols.abstract_mi import (
     ACK,

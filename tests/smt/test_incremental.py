@@ -1,7 +1,5 @@
 """Incremental solving: assumptions, push/pop, cores, clause retention."""
 
-from itertools import product
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -11,7 +9,6 @@ from repro.smt import (
     Result,
     Solver,
     boolvar,
-    conj,
     disj,
     eq,
     ge,

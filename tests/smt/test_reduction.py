@@ -144,7 +144,7 @@ def _seeded_3sat(solver: Cdcl, n=30, m=126, seed=7) -> None:
     solver.ensure_vars(n)
     for _ in range(m):
         lits = rng.sample(range(1, n + 1), 3)
-        solver.add_clause([l if rng.random() < 0.5 else -l for l in lits])
+        solver.add_clause([lit if rng.random() < 0.5 else -lit for lit in lits])
 
 
 def test_glue_cap_demotes_coldest_protected_clauses():

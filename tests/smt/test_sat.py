@@ -89,7 +89,7 @@ def test_model_satisfies_all_clauses():
     assert solver.solve() == SAT
     model = {v: solver.model_value(v) for v in (1, 2, 3)}
     for clause in clauses:
-        assert any(model[abs(l)] == (l > 0) for l in clause)
+        assert any(model[abs(lit)] == (lit > 0) for lit in clause)
 
 
 def test_incremental_clause_addition():

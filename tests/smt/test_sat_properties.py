@@ -20,7 +20,7 @@ clauses_strategy = st.lists(
 def brute_force_sat(clauses):
     for bits in product([False, True], repeat=N_VARS):
         assignment = {v: bits[v - 1] for v in range(1, N_VARS + 1)}
-        if all(any(assignment[abs(l)] == (l > 0) for l in c) for c in clauses):
+        if all(any(assignment[abs(lit)] == (lit > 0) for lit in c) for c in clauses):
             return True
     return False
 
@@ -38,7 +38,7 @@ def test_cdcl_matches_truth_table(clauses):
     if verdict == SAT:
         model = {v: solver.model_value(v) for v in range(1, N_VARS + 1)}
         for clause in clauses:
-            assert any(model[abs(l)] == (l > 0) for l in clause)
+            assert any(model[abs(lit)] == (lit > 0) for lit in clause)
 
 
 @given(clauses_strategy, clauses_strategy)

@@ -7,7 +7,6 @@ from repro.smt import (
     TRUE,
     Result,
     Solver,
-    SolverBudgetError,
     boolvar,
     conj,
     disj,

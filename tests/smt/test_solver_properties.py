@@ -5,7 +5,7 @@ from itertools import product
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.smt import Result, Solver, conj, disj, eq, ge, intvar, le, neg
+from repro.smt import Result, Solver, disj, eq, ge, intvar, le, neg
 
 N_VARS = 3
 DOMAIN = range(0, 4)  # enumeration domain for each integer variable

@@ -1,0 +1,71 @@
+"""Unit tests for the CI benchmark-regression gate (benchmarks/check_bench.py)."""
+
+import importlib.util
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_bench.py",
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+BASE = {
+    "smoke": True,
+    "grid": {"verdict_sha": "abc123", "verdicts_byte_identical": True,
+             "speedup": 2.0},
+    "resume": {"resumed_s": 0.1},
+}
+
+
+def _compare(fresh, baseline=BASE, tolerance=0.3, check_speed=True):
+    return check_bench.compare_records(
+        "BENCH_x.json", fresh, baseline, tolerance, check_speed
+    )
+
+
+def test_identical_records_pass():
+    assert _compare(BASE) == []
+
+
+def test_verdict_sha_divergence_fails():
+    fresh = {**BASE, "grid": {**BASE["grid"], "verdict_sha": "deadbeef"}}
+    failures = _compare(fresh)
+    assert any("VERDICT DIVERGENCE" in f for f in failures)
+
+
+def test_missing_sha_path_fails():
+    fresh = {**BASE, "grid": {"speedup": 2.0, "verdicts_byte_identical": True}}
+    failures = _compare(fresh)
+    assert any("missing from the fresh record" in f for f in failures)
+
+
+def test_false_verdict_flag_fails():
+    fresh = {
+        **BASE,
+        "grid": {**BASE["grid"], "verdicts_byte_identical": False},
+    }
+    failures = _compare(fresh)
+    assert any("is False" in f for f in failures)
+
+
+def test_slowdown_beyond_tolerance_fails_only_with_speed_gate():
+    fresh = {**BASE, "grid": {**BASE["grid"], "speedup": 1.0}}  # 50% down
+    assert any("SLOWDOWN" in f for f in _compare(fresh, check_speed=True))
+    assert _compare(fresh, check_speed=False) == []
+    # Within tolerance: 2.0 -> 1.5 is a 25% drop, under the 30% default.
+    ok = {**BASE, "grid": {**BASE["grid"], "speedup": 1.5}}
+    assert _compare(ok, check_speed=True) == []
+
+
+def test_speedup_improvement_passes():
+    fresh = {**BASE, "grid": {**BASE["grid"], "speedup": 9.0}}
+    assert _compare(fresh, check_speed=True) == []
+
+
+def test_smoke_flag_mismatch_is_config_drift():
+    fresh = {**BASE, "smoke": False}
+    failures = _compare(fresh)
+    assert len(failures) == 1
+    assert "config drift" in failures[0]
