@@ -84,13 +84,15 @@ def compare_records(
     baseline_fields = dict(walk_fields(baseline))
 
     if baseline_fields.get("smoke") != fresh_fields.get("smoke"):
+        # Keep going: the remaining checks are apples-to-oranges under
+        # drift, but an early return here would hide every other failure
+        # in this record from the report.
         failures.append(
             f"{name}: config drift — baseline smoke="
             f"{baseline_fields.get('smoke')} vs fresh "
             f"{fresh_fields.get('smoke')} (regenerate the baseline with "
             "the CI invocation)"
         )
-        return failures
 
     for path, value in baseline_fields.items():
         if is_sha_field(path):

@@ -669,6 +669,8 @@ class VerificationSession:
             "invariant_count": len(self._invariants),
             # Per-query deltas: this check's solver counters and wall time.
             "solver": dict(self.solver.stats),
+            # Hot-loop counters from the CDCL core (see Cdcl.profile).
+            "solver_profile": dict(self.solver.profile),
             "solve_seconds": perf_counter() - solve_start,
             # Cumulative session phase times (encoding built once, queries
             # accumulate under "smt solving") — not per-query.

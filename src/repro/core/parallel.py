@@ -306,6 +306,9 @@ class WorkerSession:
         )
         elapsed = perf_counter() - start
         stats = dict(self.solver.stats)
+        # Ride the existing stats slot so the payload tuple shape stays
+        # frozen; the parent pops this back out in _merge.
+        stats["profile"] = dict(self.solver.profile)
         if outcome == Result.UNSAT:
             core = tuple(
                 getattr(term, "name", repr(term))
@@ -737,12 +740,15 @@ class ParallelVerificationSession:
     ) -> VerificationResult:
         """One worker payload → a parent-space VerificationResult."""
         kind, a, b, solver_stats, elapsed = payload[:5]
+        solver_stats = dict(solver_stats)
+        solver_profile = solver_stats.pop("profile", {})
         invariants = self.spec.invariants or []
         stats = {
             "network": self.network.stats(),
             "color_pairs": self.colors.total_pairs(),
             "invariant_count": len(invariants),
             "solver": solver_stats,
+            "solver_profile": solver_profile,
             "solve_seconds": elapsed,
         }
         if self._parametric:

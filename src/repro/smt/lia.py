@@ -36,9 +36,20 @@ class LiaBridge:
         # satvar -> (theory var, coeff sign, pos bound, neg bound);
         # "pos bound" is asserted as upper bound when the literal is positive.
         self._atom_info: dict[int, tuple[int, int, int]] = {}
-        # Undo alignment with the SAT trail: _marks[i] is the simplex undo
-        # length before trail position i was asserted.
-        self._marks: list[int] = []
+        # Per-atom prebuilt assertion plans keyed by the *signed* literal:
+        # assert_index is the solver's hottest theory path, so the bound
+        # arithmetic happens once at registration, not per assertion.
+        # Bounds stay machine ints — the simplex promotes to Fraction only
+        # at pivots (see repro.smt.simplex).
+        self._assert_plan: dict[int, tuple[bool, int, int]] = {}
+        # SAT variables that carry a theory atom.  The CDCL core reads this
+        # to skip pure-boolean trail literals without a call per literal.
+        self.atom_vars: set[int] = set()
+        # Sparse undo alignment with the SAT trail: (trail index, simplex
+        # undo length before that assertion), one entry per *atom* literal
+        # asserted.  Non-atom trail positions never touch the simplex, so
+        # they need no mark.
+        self._asserted: list[tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -60,6 +71,7 @@ class LiaBridge:
             assert coeff in (1, -1), atom
             column = self.theory_var(var)
             self._atom_info[satvar] = (column, coeff, atom.bound)
+            self._plan_bounds(satvar, column, coeff, atom.bound)
             return
         form = tuple((v.uid, c) for v, c in atom.coeffs)
         sign = 1
@@ -68,10 +80,22 @@ class LiaBridge:
             form, sign = negated, -1
         slack = self._slack_of_form.get(form)
         if slack is None:
-            combo = {self.theory_var(v): Fraction(c) for v, c in atom.coeffs}
+            combo = {self.theory_var(v): c for v, c in atom.coeffs}
             slack = self.simplex.define(combo)
             self._slack_of_form[form] = slack
         self._atom_info[satvar] = (slack, sign, atom.bound)
+        self._plan_bounds(satvar, slack, sign, atom.bound)
+
+    def _plan_bounds(self, satvar: int, column: int, sign: int, bound: int) -> None:
+        self.atom_vars.add(satvar)
+        # sign=-1 means the shared slack carries the *negated* form, so the
+        # atom "form <= bound" reads "slack >= -bound" on that column.
+        if sign > 0:
+            self._assert_plan[satvar] = (True, column, bound)
+            self._assert_plan[-satvar] = (False, column, bound + 1)
+        else:
+            self._assert_plan[satvar] = (False, column, -bound)
+            self._assert_plan[-satvar] = (True, column, -bound - 1)
 
     def has_atom(self, satvar: int) -> bool:
         return satvar in self._atom_info
@@ -80,32 +104,32 @@ class LiaBridge:
     # TheoryListener interface
     # ------------------------------------------------------------------
     def assert_index(self, index: int, lit: int) -> list[int] | None:
-        assert index == len(self._marks), "trail misalignment"
-        self._marks.append(self.simplex.undo_length())
-        info = self._atom_info.get(abs(lit))
-        if info is None:
+        plan = self._assert_plan.get(lit)
+        if plan is None:
             return None
-        column, sign, bound = info
-        # sign=-1 means the shared slack carries the *negated* form, so the
-        # atom "form <= bound" reads "slack >= -bound" on that column.
-        if lit > 0:
-            if sign > 0:
-                conflict = self.simplex.assert_upper(column, Fraction(bound), lit)
-            else:
-                conflict = self.simplex.assert_lower(column, Fraction(-bound), lit)
+        simplex = self.simplex
+        self._asserted.append((index, len(simplex._undo)))
+        upper, column, bound = plan
+        if upper:
+            conflict = simplex.assert_upper(column, bound, lit)
         else:
-            if sign > 0:
-                conflict = self.simplex.assert_lower(column, Fraction(bound + 1), lit)
-            else:
-                conflict = self.simplex.assert_upper(column, Fraction(-bound - 1), lit)
+            conflict = simplex.assert_lower(column, bound, lit)
         if conflict is not None:
             return conflict
-        return self.simplex.check()
+        # check() with an empty dirty set is a no-op (a clean check always
+        # drains it), so only pay the pivoting loop when this assertion
+        # actually left a basic variable out of bounds.
+        if simplex._dirty:
+            return simplex.check()
+        return None
 
     def pop_to(self, trail_length: int) -> None:
-        if len(self._marks) > trail_length:
-            self.simplex.undo_to(self._marks[trail_length])
-            del self._marks[trail_length:]
+        asserted = self._asserted
+        target = -1
+        while asserted and asserted[-1][0] >= trail_length:
+            target = asserted.pop()[1]
+        if target >= 0:
+            self.simplex.undo_to(target)
 
     def final_check(self) -> list[int] | None:
         return self.simplex.check(full=True)
@@ -116,14 +140,18 @@ class LiaBridge:
     def known_int_vars(self) -> list[IntVar]:
         return list(self._var_of_int)
 
-    def rational_value(self, var: IntVar) -> Fraction:
+    def rational_value(self, var: IntVar) -> Fraction | int:
         column = self._var_of_int.get(var)
         if column is None:
             return Fraction(0)
         return self.simplex.value(column)
 
     def fractional_var(self) -> tuple[IntVar, Fraction] | None:
-        """An integer problem variable with a non-integral simplex value."""
+        """An integer problem variable with a non-integral simplex value.
+
+        int values have ``.denominator == 1``, so the integral states the
+        simplex keeps as machine ints are filtered here for free.
+        """
         for var, column in self._var_of_int.items():
             value = self.simplex.value(column)
             if value.denominator != 1:

@@ -1,8 +1,9 @@
-"""A CDCL SAT solver.
+"""A CDCL SAT solver on a flat, array-packed data path.
 
 Implements the standard modern architecture: two-watched-literal
-propagation, first-UIP conflict analysis with clause learning, VSIDS
-branching with phase saving, and Luby restarts.  A theory listener can be
+propagation with blocker literals, first-UIP conflict analysis with clause
+learning, VSIDS branching on an indexed binary heap with in-place
+decrease-key, phase saving, and Luby restarts.  A theory listener can be
 attached for DPLL(T) integration; it is kept in sync with the trail and may
 report conflicts as lists of literals (the negation of a theory-inconsistent
 set of asserted literals).
@@ -24,13 +25,81 @@ whenever it participates in a conflict derivation.  When the live learnt
 count crosses a geometrically growing threshold, :meth:`Cdcl.reduce_db`
 forgets the cold tail (binary and ``lbd ≤ glue_keep`` clauses are
 protected preferentially, up to ``glue_cap`` of them), so long-lived
-incremental sessions stay bounded.  :meth:`learned_clauses` exports the surviving resolvents (plus
-root-level facts) in LBD order and :meth:`import_learned` re-attaches such
-an export into another solver over the same variable numbering — the
-warm-start channel used by snapshot rehydration.
+incremental sessions stay bounded.  :meth:`learned_clauses` exports the
+surviving resolvents (plus root-level facts) in LBD order and
+:meth:`import_learned` re-attaches such an export into another solver over
+the same variable numbering — the warm-start channel used by snapshot
+rehydration.
 
-The solver is deliberately self-contained (plain lists, no numpy) so its
-behaviour is easy to audit — it is part of the trusted base of the
+Data layout (the hot-loop rewrite)
+----------------------------------
+
+Everything the propagate/analyze/decide loop touches lives in flat,
+preallocated buffers instead of per-clause Python objects:
+
+* **Literal codes.**  Internally a literal ``±v`` is the integer code
+  ``2v`` (positive) or ``2v + 1`` (negative); negation is ``code ^ 1``.
+  The public API (``add_clause``, ``solve(assumptions=)``, the theory
+  listener, ``learned_clauses``) still speaks signed literals — codes
+  never escape this module.
+
+* **Clause arena.**  All clauses share one flat list of ints.  A clause
+  reference (*cref*) is the arena offset of its 3-word header::
+
+      [size<<2 | learnt | protected<<1]  [lbd]  [activity slot]  lit₀ lit₁ … litₙ₋₁
+
+  ``lbd == 0`` marks a problem clause; the activity slot indexes a
+  parallel activity list.  :meth:`reduce_db` / :meth:`compact` are arena
+  garbage collections: survivors are copied into a fresh arena (coldest
+  tail dropped) and the watcher lists are rebuilt against the new crefs.
+
+  The buffers are plain Python lists on purpose: CPython's ``array('i')``
+  boxes every element on read/write, which measures 2–3x *slower* than
+  list indexing in the hot loop — flatness (one structure, int-only
+  content, no per-clause objects) is where the speedup comes from, not
+  the storage type.
+
+* **Watcher lists with blockers.**  ``_watches[code]`` is a flat
+  interleaved list ``[cref, blocker, cref, blocker, …]`` of the clauses
+  watching ``¬code``.  The blocker is another literal of the clause
+  (usually the other watched literal); when it is already true *and
+  still one of the clause's two watched slots* the clause is skipped
+  with at most two arena reads — the majority case on these structured
+  encodings.  The freshness check is what keeps the skip
+  trajectory-faithful: a stale-but-true blocker falls through to the
+  full inspection so the keep-vs-move decision matches the reference
+  core exactly.
+
+* **Trail and assignment.**  The assignment is indexed *by literal
+  code* (``_val[code] ∈ {1, 0, -1}``; ``_val[code ^ 1]`` mirrors the
+  negation), which removes the ``abs()``/sign branch from every literal
+  evaluation.  The trail, levels, reasons, saved phases and the
+  conflict-analysis ``seen`` scratch are preallocated buffers grown with
+  the variable count — no per-conflict allocation.
+
+* **Lazy VSIDS heap without the fallback scan.**  ``_heap`` is a stdlib
+  ``heapq`` max-heap over ``(activity desc, var asc)`` tuples.  The
+  invariant — every *unassigned* variable always has an entry at its
+  current activity (pushed at creation, on every bump, and on every
+  backjump-unassign) — makes heap exhaustion the full-assignment test,
+  so :meth:`_decide` never falls back to a linear scan over all
+  variables (the old stale-heap pathology); stale and assigned entries
+  are discarded lazily at pop.  The ``_incur`` flag skips the
+  backjump-push when the variable's current-key entry never left the
+  heap, which removes most of the duplicate-entry churn.  (An indexed
+  binary heap with in-place decrease-key was tried first and *lost*:
+  tens of thousands of interpreted sift steps cost more than C-level
+  ``heappush``/``heappop`` on duplicates.)
+
+The rewrite is *trajectory-faithful*: decisions, propagations, learnt
+clauses and models are identical to the retained reference implementation
+(:mod:`repro.smt._sat_reference`), which the differential suite in
+``tests/smt/test_satcore.py`` enforces.  :meth:`Cdcl.profile` exposes
+hot-loop counters (watcher visits, blocker hits, analyze steps, arena GC
+volume) for benchmarks and regression tests.
+
+The solver remains deliberately self-contained (stdlib only, no numpy) so
+its behaviour is easy to audit — it is part of the trusted base of the
 verification results.
 """
 
@@ -46,9 +115,21 @@ UNSAT = "unsat"
 
 _UNDEF = 0
 
+# Arena header layout: [size<<2 | flags, lbd, activity-slot], then lits.
+_HDR = 3
+_LEARNT = 1
+_PROTECTED = 2
+
 
 class TheoryListener(Protocol):
-    """Callbacks the CDCL core uses to keep a theory solver in sync."""
+    """Callbacks the CDCL core uses to keep a theory solver in sync.
+
+    Listeners may additionally expose an ``atom_vars`` attribute — the set
+    of SAT variables that carry theory atoms.  When present, the core only
+    calls :meth:`assert_index` for literals over those variables; the
+    listener must then tolerate gaps in the ``index`` sequence (undo
+    bookkeeping keyed by index rather than dense per-position marks).
+    """
 
     def assert_index(self, index: int, lit: int) -> list[int] | None:
         """Notify that trail position ``index`` holds ``lit``.
@@ -83,6 +164,11 @@ def _luby(i: int) -> int:
     return 1 << seq
 
 
+def _signed(code: int) -> int:
+    """Internal literal code → signed external literal."""
+    return -(code >> 1) if code & 1 else code >> 1
+
+
 class Cdcl:
     """Conflict-driven clause-learning SAT solver with theory hooks.
 
@@ -113,22 +199,42 @@ class Cdcl:
     ):
         self.theory = theory
         self.n_vars = 0
-        self.clauses: list[list[int]] = []
-        self._lbd: list[int] = []  # per clause; 0 = problem clause, >=1 learnt
-        self._cla_act: list[float] = []  # per clause; bumped on conflict use
+        # --- clause arena ------------------------------------------------
+        self._arena: list[int] = []
+        self._cla_act: list[float] = []  # indexed by header activity slot
         self._cla_inc = 1.0
-        self._watches: list[list[int]] = [[], []]  # indexed by literal code
-        self._assign: list[int] = [0]  # 1 true, -1 false, 0 undef; index by var
-        self._level: list[int] = [0]
-        self._reason: list[int] = [-1]  # clause index, -1 for decisions
-        self._activity: list[float] = [0.0]
-        self._phase: list[bool] = [False]
-        self._trail: list[int] = []
+        self._n_clauses = 0
+        # --- watchers: interleaved [cref, blocker, ...] per literal code
+        self._watches: list[list[int]] = [[], []]
+        # --- assignment/trail buffers (grown with the variable count) ----
+        self._val: list[int] = [0, 0]  # indexed by literal code
+        self._level: list[int] = [0]  # indexed by var
+        self._reason: list[int] = [-1]  # cref, -1 for decisions; by var
+        self._activity: list[float] = [0.0]  # by var
+        self._phase = bytearray(1)  # by var
+        self._seen = bytearray(1)  # analyze scratch, by var
+        self._trail: list[int] = []  # literal codes; capacity == n_vars
+        self._trail_len = 0
         self._trail_lim: list[int] = []
         self._qhead = 0
         self._theory_qhead = 0
-        self._conflict_index = -1  # clause index of the last propagation conflict
+        # --- VSIDS order: a C-heapq lazy max-heap of (-act, var) entries.
+        # Invariant: every *unassigned* variable always has an entry at
+        # its current activity (pushed at creation, on every bump, and on
+        # every backjump-unassign), so :meth:`_decide` never needs a
+        # fallback scan; entries for assigned variables and stale
+        # lower-activity duplicates are discarded lazily at pop time.
+        # ``_incur[var]`` flags "an entry at the current activity is in
+        # the heap right now": backjump skips the push when set, which
+        # cuts the dominant heappush/heappop churn (most trail entries
+        # are propagations whose entry never left the heap).  Bumps set
+        # it (the new key *is* the current one), pops of a current-key
+        # entry clear it.  Undercounting is harmless (one duplicate
+        # push); overcounting cannot happen because a bump always moves
+        # the key, so at most one entry per variable carries the current
+        # activity.
         self._heap: list[tuple[float, int]] = []
+        self._incur = bytearray([0])
         self._var_inc = 1.0
         self._ok = True
         self.reduction = reduction
@@ -149,26 +255,111 @@ class Cdcl:
             "reduced": 0,
             "kept_glue": 0,
         }
+        self._profile = {
+            "propagations": 0,
+            "visited_watchers": 0,
+            "blocker_hits": 0,
+            "analyze_steps": 0,
+            "arena_gc_words": 0,
+        }
+        # Hot-path counters accumulate in plain ints — five dict updates
+        # per _propagate call are measurable at this call rate.  They are
+        # folded into ``stats``/``_profile`` at solve()/compact() exits
+        # and whenever profile() is read.
+        self._acc_props = 0
+        self._acc_visits = 0
+        self._acc_bhits = 0
+        self._acc_steps = 0
 
     @property
     def learned_count(self) -> int:
         """Live learnt clauses currently attached (root facts excluded)."""
         return self._learnt_live
 
+    def clause_count(self) -> int:
+        """Attached clauses (problem + learnt), O(1)."""
+        return self._n_clauses
+
+    def profile(self) -> dict[str, int]:
+        """Hot-loop instrumentation counters (cumulative, like ``stats``).
+
+        ``propagations`` — trail literals dequeued by unit propagation
+        (equals ``stats["propagations"]``); ``visited_watchers`` — watcher
+        entries examined; ``blocker_hits`` — watcher entries skipped
+        because the blocker literal was already true (no arena access);
+        ``analyze_steps`` — literals inspected during first-UIP conflict
+        analysis; ``arena_gc_words`` — arena words reclaimed by
+        :meth:`reduce_db` compactions.
+        """
+        self._flush_counters()
+        return dict(self._profile)
+
+    def _flush_counters(self) -> None:
+        """Fold the accumulated hot-path counters into stats/_profile."""
+        props = self._acc_props
+        if props or self._acc_visits or self._acc_bhits or self._acc_steps:
+            self.stats["propagations"] += props
+            profile = self._profile
+            profile["propagations"] += props
+            profile["visited_watchers"] += self._acc_visits
+            profile["blocker_hits"] += self._acc_bhits
+            profile["analyze_steps"] += self._acc_steps
+            self._acc_props = 0
+            self._acc_visits = 0
+            self._acc_bhits = 0
+            self._acc_steps = 0
+
+    # ------------------------------------------------------------------
+    # Compatibility views (tests and introspection; not on the hot path)
+    # ------------------------------------------------------------------
+    def _iter_crefs(self) -> Iterable[int]:
+        arena = self._arena
+        cref, end = 0, len(arena)
+        while cref < end:
+            yield cref
+            cref += _HDR + (arena[cref] >> 2)
+
+    def _clause_codes(self, cref: int) -> array:
+        base = cref + _HDR
+        return self._arena[base : base + (self._arena[cref] >> 2)]
+
+    @property
+    def clauses(self) -> list[list[int]]:
+        """Signed-literal view of the clause database, in attach order.
+
+        Materialised on demand for tests and debugging; production code
+        uses :meth:`clause_count` and the arena directly.
+        """
+        return [
+            [_signed(code) for code in self._clause_codes(cref)]
+            for cref in self._iter_crefs()
+        ]
+
+    @property
+    def _lbd(self) -> list[int]:
+        """Per-clause LBD view (0 = problem clause), in attach order."""
+        arena = self._arena
+        return [arena[cref + 1] for cref in self._iter_crefs()]
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def new_var(self) -> int:
         self.n_vars += 1
-        self._assign.append(_UNDEF)
+        var = self.n_vars
+        self._val.append(0)
+        self._val.append(0)
         self._level.append(0)
         self._reason.append(-1)
         self._activity.append(0.0)
-        self._phase.append(False)
+        self._phase.append(0)
+        self._seen.append(0)
         self._watches.append([])
         self._watches.append([])
-        heappush(self._heap, (0.0, self.n_vars))
-        return self.n_vars
+        self._trail.append(0)  # capacity: one slot per variable
+        heappush(self._heap, (0.0, var))
+        self._incur.append(1)
+        return var
 
     def ensure_vars(self, n: int) -> None:
         while self.n_vars < n:
@@ -179,8 +370,7 @@ class Cdcl:
         return 2 * lit if lit > 0 else -2 * lit + 1
 
     def _value(self, lit: int) -> int:
-        value = self._assign[abs(lit)]
-        return value if lit > 0 else -value
+        return self._val[2 * lit if lit > 0 else -2 * lit + 1]
 
     def add_clause(self, lits: Sequence[int]) -> None:
         """Add a clause, rewinding to the root level first if needed."""
@@ -205,21 +395,30 @@ class Cdcl:
             self._ok = False
             return
         if len(filtered) == 1:
-            self._enqueue(filtered[0], -1)
+            self._enqueue_code(self._code(filtered[0]), -1)
             return
-        self._attach(filtered)
+        self._attach([self._code(lit) for lit in filtered])
 
-    def _attach(self, lits: list[int], lbd: int = 0) -> int:
-        """Attach a clause; ``lbd >= 1`` marks it learnt (deletable)."""
-        index = len(self.clauses)
-        self.clauses.append(lits)
-        self._lbd.append(lbd)
+    def _attach(self, codes: list[int], lbd: int = 0) -> int:
+        """Attach a clause of literal codes; ``lbd >= 1`` marks it learnt."""
+        arena = self._arena
+        cref = len(arena)
+        arena.append((len(codes) << 2) | (_LEARNT if lbd else 0))
+        arena.append(lbd)
+        arena.append(len(self._cla_act))
         self._cla_act.append(self._cla_inc if lbd else 0.0)
+        arena.extend(codes)
+        self._n_clauses += 1
         if lbd:
             self._learnt_live += 1
-        self._watches[self._code(-lits[0])].append(index)
-        self._watches[self._code(-lits[1])].append(index)
-        return index
+        # Watch the first two literals; the blocker is the other watch.
+        wl = self._watches[codes[0] ^ 1]
+        wl.append(cref)
+        wl.append(codes[1])
+        wl = self._watches[codes[1] ^ 1]
+        wl.append(cref)
+        wl.append(codes[0])
+        return cref
 
     # ------------------------------------------------------------------
     # Trail manipulation
@@ -228,87 +427,190 @@ class Cdcl:
     def decision_level(self) -> int:
         return len(self._trail_lim)
 
-    def _enqueue(self, lit: int, reason: int) -> bool:
-        var = abs(lit)
-        value = self._value(lit)
+    def _enqueue_code(self, code: int, reason: int) -> bool:
+        val = self._val
+        value = val[code]
         if value == 1:
             return True
         if value == -1:
             return False
-        self._assign[var] = 1 if lit > 0 else -1
-        self._level[var] = self.decision_level
+        val[code] = 1
+        val[code ^ 1] = -1
+        var = code >> 1
+        self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
-        self._trail.append(lit)
+        self._trail[self._trail_len] = code
+        self._trail_len += 1
         return True
 
     def _backjump(self, level: int) -> None:
-        if self.decision_level <= level:
+        if len(self._trail_lim) <= level:
             return
         boundary = self._trail_lim[level]
-        for lit in self._trail[boundary:]:
-            var = abs(lit)
-            self._phase[var] = lit > 0
-            self._assign[var] = _UNDEF
-            heappush(self._heap, (-self._activity[var], var))
-        del self._trail[boundary:]
+        trail, val, phase = self._trail, self._val, self._phase
+        activity, heap, incur = self._activity, self._heap, self._incur
+        for index in range(boundary, self._trail_len):
+            code = trail[index]
+            var = code >> 1
+            phase[var] = 1 - (code & 1)  # even code == positive literal
+            val[code] = 0
+            val[code ^ 1] = 0
+            if not incur[var]:
+                heappush(heap, (-activity[var], var))
+                incur[var] = 1
+        self._trail_len = boundary
         del self._trail_lim[level:]
-        self._qhead = min(self._qhead, len(self._trail))
+        if self._qhead > boundary:
+            self._qhead = boundary
         if self.theory is not None:
-            self.theory.pop_to(len(self._trail))
-            self._theory_qhead = min(self._theory_qhead, len(self._trail))
+            self.theory.pop_to(boundary)
+            if self._theory_qhead > boundary:
+                self._theory_qhead = boundary
 
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
-    def _propagate(self) -> list[int] | None:
-        """Unit propagation; returns the conflicting clause's literals."""
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
-            self._qhead += 1
-            self.stats["propagations"] += 1
-            code = self._code(lit)
-            watch_list = self._watches[code]
-            kept: list[int] = []
-            conflict: list[int] | None = None
-            for position, clause_index in enumerate(watch_list):
-                clause = self.clauses[clause_index]
-                # Normalise: the false literal (-lit) goes to slot 1.
-                if clause[0] == -lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if self._value(first) == 1:
-                    kept.append(clause_index)
+    def _propagate(self) -> int:
+        """Unit propagation; returns the conflicting cref, or -1.
+
+        The hot loop: every structure it touches is a flat buffer cached
+        in a local.  Watcher entries are interleaved ``[cref, blocker]``
+        pairs; a true blocker skips the clause without an arena access.
+        """
+        val = self._val
+        arena = self._arena
+        watches = self._watches
+        trail = self._trail
+        level = self._level
+        reason = self._reason
+        qhead = self._qhead
+        trail_len = self._trail_len
+        n_levels = len(self._trail_lim)
+        start = qhead
+        visits = bhits = 0
+        conflict = -1
+        while qhead < trail_len:
+            pc = trail[qhead]
+            qhead += 1
+            fc = pc ^ 1  # the literal that just became false
+            wl = watches[pc]
+            n = len(wl)
+            j = 0
+            i = -2
+            for i in range(0, n, 2):
+                cref = wl[i]
+                blocker = wl[i + 1]
+                base = cref + 3  # _HDR
+                first = arena[base]
+                if val[blocker] == 1 and (
+                    first == blocker or arena[base + 1] == blocker
+                ):
+                    # Satisfied by a still-watched blocker: skip without
+                    # normalising.  (A *stale* blocker — one the clause no
+                    # longer watches — falls through to the full inspection
+                    # so the keep/move decision, and hence the search
+                    # trajectory, stays byte-identical to the reference
+                    # core.)
+                    bhits += 1
+                    if j != i:
+                        wl[j] = cref
+                        wl[j + 1] = blocker
+                    j += 2
                     continue
-                moved = False
-                for k in range(2, len(clause)):
-                    if self._value(clause[k]) != -1:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self._watches[self._code(-clause[1])].append(clause_index)
-                        moved = True
+                # Normalise: the false literal goes to slot 1.
+                if first == fc:
+                    first = arena[base + 1]
+                    arena[base] = first
+                    arena[base + 1] = fc
+                if val[first] == 1:
+                    if j != i:
+                        wl[j] = cref
+                    wl[j + 1] = first  # refresh the blocker
+                    j += 2
+                    continue
+                end = base + (arena[cref] >> 2)
+                k = base + 2
+                while k < end:
+                    lk = arena[k]
+                    if val[lk] != -1:
                         break
-                if moved:
+                    k += 1
+                if k < end:
+                    # Found a non-false literal: move the watch there.
+                    arena[base + 1] = lk
+                    arena[k] = fc
+                    target = watches[lk ^ 1]
+                    target.append(cref)
+                    target.append(first)
                     continue
-                kept.append(clause_index)
-                if self._value(first) == -1:
-                    kept.extend(watch_list[position + 1 :])
-                    conflict = clause
-                    self._conflict_index = clause_index
+                if j != i:
+                    wl[j] = cref
+                wl[j + 1] = first
+                j += 2
+                if val[first] == -1:
+                    conflict = cref
                     break
-                self._enqueue(first, clause_index)
-            self._watches[code] = kept
-            if conflict is not None:
-                return conflict
-        return None
+                # Unit: enqueue ``first`` (inlined _enqueue_code).
+                val[first] = 1
+                val[first ^ 1] = -1
+                var = first >> 1
+                level[var] = n_levels
+                reason[var] = cref
+                trail[trail_len] = first
+                trail_len += 1
+            if conflict >= 0:
+                visits += (i >> 1) + 1
+                if j < i + 2:
+                    # Keep the unexamined tail of the list (C-level copy).
+                    wl[j:] = wl[i + 2 :]
+                break
+            visits += (i >> 1) + 1
+            if j != n:
+                del wl[j:]
+        self._qhead = qhead
+        self._trail_len = trail_len
+        self._acc_props += qhead - start
+        self._acc_visits += visits
+        self._acc_bhits += bhits
+        return conflict
 
     def _theory_sync(self) -> list[int] | None:
-        """Feed newly assigned literals to the theory listener."""
-        if self.theory is None:
+        """Feed newly assigned literals to the theory listener.
+
+        When the listener exposes ``atom_vars`` (the set of SAT variables
+        carrying theory atoms), pure-boolean trail literals are skipped
+        with a set probe instead of a call per literal — on engine
+        workloads ~80% of trail entries are guards and auxiliaries the
+        theory would ignore anyway.
+        """
+        theory = self.theory
+        if theory is None:
             return None
-        while self._theory_qhead < len(self._trail):
-            index = self._theory_qhead
-            lit = self._trail[index]
-            self._theory_qhead += 1
-            explanation = self.theory.assert_index(index, lit)
+        trail = self._trail
+        trail_len = self._trail_len
+        index = self._theory_qhead
+        if index >= trail_len:
+            return None
+        assert_index = theory.assert_index
+        atom_vars = getattr(theory, "atom_vars", None)
+        if atom_vars is not None:
+            while index < trail_len:
+                code = trail[index]
+                index += 1
+                if code >> 1 in atom_vars:
+                    lit = -(code >> 1) if code & 1 else code >> 1
+                    self._theory_qhead = index
+                    explanation = assert_index(index - 1, lit)
+                    if explanation is not None:
+                        return [-lit for lit in explanation]
+            self._theory_qhead = trail_len
+            return None
+        while index < trail_len:
+            code = trail[index]
+            lit = -(code >> 1) if code & 1 else code >> 1
+            index += 1
+            self._theory_qhead = index
+            explanation = assert_index(index - 1, lit)
             if explanation is not None:
                 return [-lit for lit in explanation]
         return None
@@ -316,93 +618,143 @@ class Cdcl:
     # ------------------------------------------------------------------
     # Conflict analysis
     # ------------------------------------------------------------------
-    def _bump(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
-            for v in range(1, self.n_vars + 1):
-                self._activity[v] *= 1e-100
-            self._var_inc *= 1e-100
-        heappush(self._heap, (-self._activity[var], var))
+    def _rescale_activity(self) -> None:
+        # Uniform rescale preserves the heap order — no re-sift.  Heap
+        # entry keys are *not* rescaled, so none of them carries the
+        # current activity any more: clear every _incur flag (undercount
+        # is safe — the next backjump simply pushes a fresh entry).
+        activity = self._activity
+        incur = self._incur
+        for v in range(1, self.n_vars + 1):
+            activity[v] *= 1e-100
+            incur[v] = 0
+        self._var_inc *= 1e-100
 
-    def _bump_clause(self, index: int) -> None:
-        self._cla_act[index] += self._cla_inc
-        if self._cla_act[index] > 1e20:
-            for i, act in enumerate(self._cla_act):
+    def _bump(self, var: int) -> None:
+        activity = self._activity
+        activity[var] += self._var_inc
+        if activity[var] > 1e100:
+            self._rescale_activity()
+        heappush(self._heap, (-activity[var], var))
+        self._incur[var] = 1
+
+    def _bump_clause(self, cref: int) -> None:
+        slot = self._arena[cref + 2]
+        cla_act = self._cla_act
+        cla_act[slot] += self._cla_inc
+        if cla_act[slot] > 1e20:
+            for i, act in enumerate(cla_act):
                 if act:
-                    self._cla_act[i] = act * 1e-20
+                    cla_act[i] = act * 1e-20
             self._cla_inc *= 1e-20
 
-    def _compute_lbd(self, lits: Sequence[int]) -> int:
-        """Distinct decision levels among ``lits`` (all currently assigned)."""
-        return max(1, len({self._level[abs(lit)] for lit in lits}))
+    def _compute_lbd(self, codes: Sequence[int]) -> int:
+        """Distinct decision levels among ``codes`` (all assigned)."""
+        level = self._level
+        return max(1, len({level[code >> 1] for code in codes}))
 
-    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
-        """First-UIP analysis.  ``conflict`` literals are all false.
+    def _analyze(self, conflict: Sequence[int]) -> tuple[list[int], int]:
+        """First-UIP analysis.  ``conflict`` codes are all false.
 
-        Returns ``(learnt_clause, backjump_level)`` where ``learnt_clause[0]``
-        is the asserting literal.
+        Returns ``(learnt_codes, backjump_level)`` where ``learnt[0]``
+        is the asserting literal's code.
         """
-        current = self.decision_level
+        current = len(self._trail_lim)
+        level = self._level
+        reason = self._reason
+        trail = self._trail
+        seen = self._seen
+        arena = self._arena
+        activity = self._activity
+        heap = self._heap
+        incur = self._incur
+        var_inc = self._var_inc
         learnt: list[int] = []
-        seen = [False] * (self.n_vars + 1)
+        marked: list[int] = []  # vars to unmark afterwards
         counter = 0
+        steps = 0
         reason_lits: Iterable[int] = conflict
-        index = len(self._trail) - 1
-        asserting_lit = 0
+        index = self._trail_len - 1
+        asserting = 0
         while True:
-            for lit in reason_lits:
-                var = abs(lit)
-                if seen[var] or self._level[var] == 0:
+            for code in reason_lits:
+                steps += 1
+                var = code >> 1
+                lvl = level[var]
+                if seen[var] or lvl == 0:
                     continue
-                seen[var] = True
-                self._bump(var)
-                if self._level[var] == current:
+                seen[var] = 1
+                marked.append(var)
+                # Inlined _bump (the rescale path stays out of line).
+                act = activity[var] + var_inc
+                activity[var] = act
+                if act > 1e100:
+                    self._rescale_activity()
+                    var_inc = self._var_inc
+                    # ``-act`` is a pre-rescale key now; leave _incur
+                    # clear so backjump re-pushes a current entry.
+                    heappush(heap, (-act, var))
+                else:
+                    heappush(heap, (-act, var))
+                    incur[var] = 1
+                if lvl == current:
                     counter += 1
                 else:
-                    learnt.append(lit)
+                    learnt.append(code)
             # Walk the trail backwards to the next marked literal.
-            while not seen[abs(self._trail[index])]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            p = self._trail[index]
+            p = trail[index]
             index -= 1
-            var = abs(p)
-            seen[var] = False
+            var = p >> 1
+            seen[var] = 0
             counter -= 1
             if counter == 0:
-                asserting_lit = -p
+                asserting = p ^ 1
                 break
-            reason_index = self._reason[var]
-            if self._lbd[reason_index]:
-                self._bump_clause(reason_index)
-            reason_lits = [lit for lit in self.clauses[reason_index] if lit != p]
-        learnt.insert(0, asserting_lit)
+            rref = reason[var]
+            if arena[rref] & _LEARNT:
+                self._bump_clause(rref)
+            base = rref + _HDR
+            reason_lits = [
+                code for code in arena[base : base + (arena[rref] >> 2)]
+                if code != p
+            ]
+        self._acc_steps += steps
+        learnt.insert(0, asserting)
         # Conflict-clause minimisation: drop literals implied by the rest.
-        learnt = self._minimise(learnt, seen)
+        learnt = self._minimise(learnt)
+        for var in marked:
+            seen[var] = 0
         if len(learnt) == 1:
             return learnt, 0
         # Move the highest-level literal (after the asserting one) to slot 1.
-        best = max(range(1, len(learnt)), key=lambda i: self._level[abs(learnt[i])])
+        best = max(range(1, len(learnt)), key=lambda i: level[learnt[i] >> 1])
         learnt[1], learnt[best] = learnt[best], learnt[1]
-        return learnt, self._level[abs(learnt[1])]
+        return learnt, level[learnt[1] >> 1]
 
-    def _minimise(self, learnt: list[int], seen: list[bool]) -> list[int]:
+    def _minimise(self, learnt: list[int]) -> list[int]:
         """Cheap local minimisation: a literal whose reason is a subset of
         the clause (plus level-0 literals) is redundant."""
-        marked = set(abs(lit) for lit in learnt)
+        marked = {code >> 1 for code in learnt}
+        level = self._level
+        reason = self._reason
+        arena = self._arena
         result = [learnt[0]]
-        for lit in learnt[1:]:
-            reason_index = self._reason[abs(lit)]
-            if reason_index == -1:
-                result.append(lit)
+        for code in learnt[1:]:
+            var = code >> 1
+            rref = reason[var]
+            if rref == -1:
+                result.append(code)
                 continue
-            reason = self.clauses[reason_index]
+            base = rref + _HDR
             if all(
-                abs(other) in marked or self._level[abs(other)] == 0
-                for other in reason
-                if abs(other) != abs(lit)
+                other >> 1 in marked or level[other >> 1] == 0
+                for other in arena[base : base + (arena[rref] >> 2)]
+                if other >> 1 != var
             ):
                 continue  # redundant
-            result.append(lit)
+            result.append(code)
         return result
 
     def _analyze_final(self, false_assumption: int) -> list[int]:
@@ -417,42 +769,54 @@ class Cdcl:
         core = [false_assumption]
         if self._level[abs(false_assumption)] == 0:
             return core  # refuted by the formula alone
+        level = self._level
+        reason = self._reason
+        arena = self._arena
+        trail = self._trail
         seen = {abs(false_assumption)}
         start = self._trail_lim[0] if self._trail_lim else 0
-        for index in range(len(self._trail) - 1, start - 1, -1):
-            lit = self._trail[index]
-            var = abs(lit)
+        for index in range(self._trail_len - 1, start - 1, -1):
+            code = trail[index]
+            var = code >> 1
             if var not in seen:
                 continue
-            reason_index = self._reason[var]
-            if reason_index == -1:
+            rref = reason[var]
+            if rref == -1:
                 # A decision below the regular search == an assumption
                 # (covers directly contradictory assumption pairs too).
-                core.append(lit)
+                core.append(-(code >> 1) if code & 1 else code >> 1)
             else:
-                for other in self.clauses[reason_index]:
-                    if abs(other) != var and self._level[abs(other)] > 0:
-                        seen.add(abs(other))
+                base = rref + _HDR
+                for other in arena[base : base + (arena[rref] >> 2)]:
+                    overt = other >> 1
+                    if overt != var and level[overt] > 0:
+                        seen.add(overt)
         return core
 
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
     def _decide(self) -> bool:
-        while self._heap:
-            _, var = heappop(self._heap)
-            if self._assign[var] == _UNDEF:
+        """Branch on the hottest unassigned variable.
+
+        Every unassigned variable is in the heap by construction
+        (inserted at creation and on every backjump), so heap exhaustion
+        *is* the full-assignment test — there is no fallback scan over
+        the variable array.
+        """
+        val = self._val
+        heap = self._heap
+        activity = self._activity
+        incur = self._incur
+        while heap:
+            negact, var = heappop(heap)
+            if -negact == activity[var]:
+                incur[var] = 0  # the current-key entry just left the heap
+            code = var << 1
+            if val[code] == 0:
                 self.stats["decisions"] += 1
-                self._trail_lim.append(len(self._trail))
-                lit = var if self._phase[var] else -var
-                self._enqueue(lit, -1)
-                return True
-        # Heap exhausted: scan for any unassigned variable (stale heap).
-        for var in range(1, self.n_vars + 1):
-            if self._assign[var] == _UNDEF:
-                self.stats["decisions"] += 1
-                self._trail_lim.append(len(self._trail))
-                self._enqueue(var if self._phase[var] else -var, -1)
+                self._trail_lim.append(self._trail_len)
+                self._enqueue_code(code if self._phase[var] else code | 1, -1)
                 return True
         return False
 
@@ -461,7 +825,7 @@ class Cdcl:
     # ------------------------------------------------------------------
     def _root_boundary(self) -> int:
         """Trail length of the level-0 prefix (permanent facts)."""
-        return self._trail_lim[0] if self._trail_lim else len(self._trail)
+        return self._trail_lim[0] if self._trail_lim else self._trail_len
 
     def reduce_db(self) -> int:
         """Forget the cold half of the non-glue learnt clauses.
@@ -473,70 +837,101 @@ class Cdcl:
         the coldest are demoted by activity); the remaining tail is
         sorted coldest-first by (activity, then LBD as tiebreak) and only
         the warmest ``reduce_keep`` fraction survives, with
-        root-satisfied learnt clauses always dropped.  Returns the number
-        of clauses deleted.
+        root-satisfied learnt clauses always dropped.  Implemented as an
+        arena compaction: survivors are copied into a fresh arena and the
+        watcher lists are rebuilt against the remapped crefs.  Returns
+        the number of clauses deleted.
         """
-        assert self.decision_level == 0, "reduce_db() needs the root level"
+        assert not self._trail_lim, "reduce_db() needs the root level"
+        arena = self._arena
+        cla_act = self._cla_act
+        val = self._val
         # Root-level assignments are permanent facts; conflict analysis
         # never walks below level 0, so their reasons can be forgotten —
         # which unlocks every clause for deletion and remapping.
-        for lit in self._trail:
-            self._reason[abs(lit)] = -1
+        for index in range(self._trail_len):
+            self._reason[self._trail[index] >> 1] = -1
         keep: list[int] = []
         candidates: list[int] = []
         protected: list[int] = []
-        for index, lits in enumerate(self.clauses):
-            lbd = self._lbd[index]
+        for cref in self._iter_crefs():
+            lbd = arena[cref + 1]
+            base = cref + _HDR
+            end = base + (arena[cref] >> 2)
             if lbd == 0:
-                keep.append(index)
-            elif any(self._value(lit) == 1 for lit in lits):
+                keep.append(cref)
+            elif any(val[arena[k]] == 1 for k in range(base, end)):
                 continue  # permanently satisfied at root: dead weight
-            elif len(lits) <= 2 or lbd <= self.glue_keep:
-                protected.append(index)
+            elif end - base <= 2 or lbd <= self.glue_keep:
+                arena[cref] |= _PROTECTED
+                protected.append(cref)
             else:
-                candidates.append(index)
+                candidates.append(cref)
         if len(protected) > self.glue_cap:
             # Protection is a priority, not a blank cheque: on these
             # structured encodings most resolvents come out glue-tagged,
             # so the coldest protected clauses re-join the ordinary tail.
-            protected.sort(key=lambda i: self._cla_act[i], reverse=True)
+            protected.sort(key=lambda c: cla_act[arena[c + 2]], reverse=True)
+            for cref in protected[self.glue_cap :]:
+                arena[cref] &= ~_PROTECTED
             candidates.extend(protected[self.glue_cap :])
             del protected[self.glue_cap :]
         kept_glue = len(protected)
         keep.extend(protected)
         # Coldest first: lowest activity, ties broken toward dropping
         # high-LBD clauses.  Keep the warmest ``reduce_keep`` fraction.
-        candidates.sort(key=lambda i: (self._cla_act[i], -self._lbd[i]))
+        candidates.sort(key=lambda c: (cla_act[arena[c + 2]], -arena[c + 1]))
         cut = len(candidates) - int(len(candidates) * self.reduce_keep)
         keep.extend(candidates[cut:])
         keep.sort()
-        deleted = len(self.clauses) - len(keep)
+        deleted = self._n_clauses - len(keep)
         if deleted == 0:
+            for cref in keep:
+                arena[cref] &= ~_PROTECTED
             self.stats["reductions"] += 1
             self.stats["kept_glue"] += kept_glue
             self._reduce_limit = int(self._reduce_limit * self._reduce_growth) + 1
             return 0
-        new_clauses: list[list[int]] = []
-        new_lbd: list[int] = []
+        # --- arena compaction ---------------------------------------------
+        new_arena: list[int] = []
         new_act: list[float] = []
+        learnt_live = 0
         for old in keep:
-            lits = self.clauses[old]
+            base = old + _HDR
+            size = arena[old] >> 2
+            lbd = arena[old + 1]
             # Watches must sit on non-false literals (false-at-root stays
             # false forever, so a clause watched there would never wake).
             # Propagation is at fixpoint, so every kept unsatisfied clause
-            # has >= 2 non-false literals.
-            lits.sort(key=lambda lit: self._value(lit) == -1)
-            new_clauses.append(lits)
-            new_lbd.append(self._lbd[old])
-            new_act.append(self._cla_act[old])
-        self.clauses = new_clauses
-        self._lbd = new_lbd
+            # has >= 2 non-false literals.  Stable partition: non-false
+            # literals first, false ones after, original order preserved.
+            codes = arena[base : base + size]
+            live = [c for c in codes if val[c] != -1]
+            dead = [c for c in codes if val[c] == -1]
+            new_arena.append((size << 2) | (_LEARNT if lbd else 0))
+            new_arena.append(lbd)
+            new_arena.append(len(new_act))
+            new_act.append(cla_act[arena[old + 2]])
+            new_arena.extend(live)
+            new_arena.extend(dead)
+            if lbd:
+                learnt_live += 1
+        self._profile["arena_gc_words"] += len(arena) - len(new_arena)
+        self._arena = new_arena
         self._cla_act = new_act
-        self._learnt_live = sum(1 for lbd in new_lbd if lbd)
+        self._n_clauses = len(keep)
+        self._learnt_live = learnt_live
         self._watches = [[] for _ in range(2 * self.n_vars + 2)]
-        for index, lits in enumerate(self.clauses):
-            self._watches[self._code(-lits[0])].append(index)
-            self._watches[self._code(-lits[1])].append(index)
+        watches = self._watches
+        for cref in self._iter_crefs():
+            base = cref + _HDR
+            first, second = new_arena[base], new_arena[base + 1]
+            wl = watches[first ^ 1]
+            wl.append(cref)
+            wl.append(second)
+            wl = watches[second ^ 1]
+            wl.append(cref)
+            wl.append(first)
         self.stats["reductions"] += 1
         self.stats["reduced"] += deleted
         self.stats["kept_glue"] += kept_glue
@@ -557,14 +952,17 @@ class Cdcl:
         """
         if not self._ok:
             return 0
-        self._backjump(0)
-        if self._propagate() is not None:
-            self._ok = False
-            return 0
-        if self.theory is not None and self._theory_sync() is not None:
-            self._ok = False
-            return 0
-        return self.reduce_db()
+        try:
+            self._backjump(0)
+            if self._propagate() >= 0:
+                self._ok = False
+                return 0
+            if self.theory is not None and self._theory_sync() is not None:
+                self._ok = False
+                return 0
+            return self.reduce_db()
+        finally:
+            self._flush_counters()
 
     def learned_clauses(
         self, cap: int | None = None, max_lbd: int | None = None
@@ -578,14 +976,19 @@ class Cdcl:
         independent of any assumption set (assumptions are decided above
         the root).  ``cap`` truncates the export, ``max_lbd`` filters it.
         """
+        trail = self._trail
         exported: list[tuple[int, tuple[int, ...]]] = [
-            (1, (lit,)) for lit in self._trail[: self._root_boundary()]
+            (1, (_signed(trail[i]),)) for i in range(self._root_boundary())
         ]
+        arena = self._arena
         learnt = sorted(
             (
-                (self._lbd[i], tuple(self.clauses[i]))
-                for i in range(len(self.clauses))
-                if self._lbd[i]
+                (
+                    arena[cref + 1],
+                    tuple(_signed(code) for code in self._clause_codes(cref)),
+                )
+                for cref in self._iter_crefs()
+                if arena[cref + 1]
             ),
             key=lambda item: (item[0], len(item[1])),
         )
@@ -654,14 +1057,16 @@ class Cdcl:
                 self._ok = False
                 break
             if len(filtered) == 1:
-                if not self._enqueue(filtered[0], -1):
+                if not self._enqueue_code(self._code(filtered[0]), -1):
                     self._ok = False
                     break
             else:
                 stored = max(1, min(int(lbd), len(filtered)))
                 if demote_to is not None and len(filtered) > 2:
                     stored = max(stored, demote_to)
-                self._attach(filtered, lbd=stored)
+                self._attach(
+                    [self._code(lit) for lit in filtered], lbd=stored
+                )
             imported += 1
         self.stats["learned"] += imported
         return imported
@@ -671,7 +1076,7 @@ class Cdcl:
     # ------------------------------------------------------------------
     def phase_vector(self) -> tuple[bool, ...]:
         """The saved phase of every variable, in variable order."""
-        return tuple(self._phase[1 : self.n_vars + 1])
+        return tuple(bool(p) for p in self._phase[1 : self.n_vars + 1])
 
     def seed_phases(self, phases: Sequence[bool]) -> None:
         """Overwrite saved phases from a :meth:`phase_vector` export.
@@ -682,11 +1087,11 @@ class Cdcl:
         """
         limit = min(len(phases), self.n_vars)
         for var in range(1, limit + 1):
-            self._phase[var] = bool(phases[var - 1])
+            self._phase[var] = 1 if phases[var - 1] else 0
 
     def set_phase(self, var: int, phase: bool) -> None:
         if 1 <= var <= self.n_vars:
-            self._phase[var] = bool(phase)
+            self._phase[var] = 1 if phase else 0
 
     # ------------------------------------------------------------------
     # Main loop
@@ -703,6 +1108,18 @@ class Cdcl:
         inconsistent subset in :attr:`final_core`; a root-level conflict
         leaves the core empty and the solver permanently unsatisfiable.
         """
+        try:
+            return self._solve(max_conflicts, assumptions)
+        finally:
+            # Fold the int-accumulated hot-path counters into the public
+            # stats/profile dicts on every exit (verdict or budget raise).
+            self._flush_counters()
+
+    def _solve(
+        self,
+        max_conflicts: int | None,
+        assumptions: Sequence[int],
+    ) -> str:
         self.final_core = []
         if not self._ok:
             return UNSAT
@@ -711,50 +1128,65 @@ class Cdcl:
             # Reduce between queries: bring root propagation to fixpoint
             # first (reduce_db's precondition; clauses added since the
             # last call may still have pending root units).
-            if self._propagate() is not None:
+            if self._propagate() >= 0:
                 self._ok = False
                 return UNSAT
             if self.theory is not None and self._theory_sync() is not None:
                 self._ok = False
                 return UNSAT
             self.reduce_db()
+        arena = self._arena
+        level = self._level
         restart_unit = 128
         restart_count = 0
         budget = _luby(restart_count + 1) * restart_unit
         conflicts_here = 0
         while True:
-            conflict = self._propagate()
-            if conflict is None:
-                conflict_lits = self._theory_sync()
+            conflict_ref = self._propagate()
+            arena = self._arena  # _propagate may follow a reduce_db swap
+            if conflict_ref < 0:
+                theory_conflict = self._theory_sync()
+                if theory_conflict is None:
+                    conflict_codes = None
+                else:
+                    conflict_codes = [
+                        2 * lit if lit > 0 else -2 * lit + 1
+                        for lit in theory_conflict
+                    ]
             else:
-                conflict_lits = conflict
-                if self._lbd[self._conflict_index]:
-                    self._bump_clause(self._conflict_index)
-            if conflict_lits is not None:
+                base = conflict_ref + _HDR
+                conflict_codes = arena[
+                    base : base + (arena[conflict_ref] >> 2)
+                ]
+                if arena[conflict_ref] & _LEARNT:
+                    self._bump_clause(conflict_ref)
+            if conflict_codes is not None:
                 self.stats["conflicts"] += 1
                 conflicts_here += 1
                 if max_conflicts is not None and self.stats["conflicts"] > max_conflicts:
                     raise BudgetExceeded(self.stats["conflicts"])
                 # A theory conflict may live entirely below the current level.
-                top = max(
-                    (self._level[abs(lit)] for lit in conflict_lits), default=0
-                )
+                top = 0
+                for code in conflict_codes:
+                    lvl = level[code >> 1]
+                    if lvl > top:
+                        top = lvl
                 if top == 0:
                     self._ok = False
                     return UNSAT
-                if top < self.decision_level:
+                if top < len(self._trail_lim):
                     self._backjump(top)
-                learnt, back_level = self._analyze(conflict_lits)
+                learnt, back_level = self._analyze(conflict_codes)
                 lbd = self._compute_lbd(learnt)
                 self._backjump(back_level)
                 self.stats["learned"] += 1
                 if len(learnt) == 1:
-                    if not self._enqueue(learnt[0], -1):
+                    if not self._enqueue_code(learnt[0], -1):
                         self._ok = False
                         return UNSAT
                 else:
-                    index = self._attach(learnt, lbd=lbd)
-                    self._enqueue(learnt[0], index)
+                    cref = self._attach(learnt, lbd=lbd)
+                    self._enqueue_code(learnt[0], cref)
                 self._var_inc /= 0.95
                 self._cla_inc /= 0.999
                 continue
@@ -765,53 +1197,60 @@ class Cdcl:
                 conflicts_here = 0
                 self._backjump(0)
                 self._maybe_reduce()
+                arena = self._arena
                 continue
-            if self.decision_level < len(assumptions):
+            if len(self._trail_lim) < len(assumptions):
                 # Re-assert the next pending assumption as a decision.
-                lit = assumptions[self.decision_level]
-                value = self._value(lit)
+                lit = assumptions[len(self._trail_lim)]
+                code = 2 * lit if lit > 0 else -2 * lit + 1
+                value = self._val[code]
                 if value == 1:
                     # Already implied: open an empty level so positions in
                     # ``assumptions`` keep lining up with decision levels.
-                    self._trail_lim.append(len(self._trail))
+                    self._trail_lim.append(self._trail_len)
                     continue
                 if value == -1:
                     self.final_core = self._analyze_final(lit)
                     self._backjump(0)
                     return UNSAT
                 self.stats["decisions"] += 1
-                self._trail_lim.append(len(self._trail))
-                self._enqueue(lit, -1)
+                self._trail_lim.append(self._trail_len)
+                self._enqueue_code(code, -1)
                 continue
             if not self._decide():
                 if self.theory is not None:
                     explanation = self.theory.final_check()
                     if explanation is not None:
-                        conflict_lits = [-lit for lit in explanation]
+                        conflict_codes = [
+                            2 * lit + 1 if lit > 0 else -2 * lit
+                            for lit in explanation
+                        ]
                         self.stats["conflicts"] += 1
-                        top = max(
-                            (self._level[abs(lit)] for lit in conflict_lits), default=0
-                        )
+                        top = 0
+                        for code in conflict_codes:
+                            lvl = level[code >> 1]
+                            if lvl > top:
+                                top = lvl
                         if top == 0:
                             self._ok = False
                             return UNSAT
                         self._backjump(top)
-                        learnt, back_level = self._analyze(conflict_lits)
+                        learnt, back_level = self._analyze(conflict_codes)
                         lbd = self._compute_lbd(learnt)
                         self._backjump(back_level)
                         self.stats["learned"] += 1
                         if len(learnt) == 1:
-                            if not self._enqueue(learnt[0], -1):
+                            if not self._enqueue_code(learnt[0], -1):
                                 self._ok = False
                                 return UNSAT
                         else:
-                            index = self._attach(learnt, lbd=lbd)
-                            self._enqueue(learnt[0], index)
+                            cref = self._attach(learnt, lbd=lbd)
+                            self._enqueue_code(learnt[0], cref)
                         continue
                 return SAT
 
     def model_value(self, var: int) -> bool:
-        return self._assign[var] == 1
+        return self._val[var << 1] == 1
 
 
 class BudgetExceeded(RuntimeError):

@@ -33,6 +33,11 @@ snapshot*: a restored worker starts with the parent's deductions and
 branching preferences instead of re-deriving them on its first query.
 Cold snapshots (the default for :meth:`SessionSpec.snapshot`) simply ship
 empty ``learned``/``phases`` fields.
+
+``SNAPSHOT_VERSION`` stays at 2 across the flat-arena CDCL rewrite: the
+arena is an internal representation, and the learned export remains the
+same LBD-sorted ``(lbd, literals)`` tuples, so snapshots from either core
+generation restore interchangeably.
 """
 
 from __future__ import annotations

@@ -7,9 +7,14 @@ linear definitions relates *basic* to *non-basic* variables, and
 :meth:`Simplex.check` restores feasibility by Bland-rule pivoting or reports
 a minimal-ish conflict (the bounds of one infeasible row).
 
-All arithmetic is :class:`fractions.Fraction`-exact.  Bound retraction is
-O(1) per change via an undo trail; pivots are never undone (the tableau is a
-basis change, not a logical state).
+All arithmetic is exact.  Values are plain machine ints for as long as the
+state is integral — Python ints and :class:`fractions.Fraction` interoperate
+exactly, and only division can leave the integers, so the two pivot helpers
+are the sole promotion points.  On the integral workloads the engine
+generates this keeps the hot bound-assertion path on C-int comparisons
+instead of ``Fraction.__richcmp__``.  Bound retraction is O(1) per change
+via an undo trail; pivots are never undone (the tableau is a basis change,
+not a logical state).
 """
 
 from __future__ import annotations
@@ -40,17 +45,17 @@ class Simplex:
     def __init__(self) -> None:
         self._n = 0
         # Per-variable state (indexed by theory-variable id).
-        self._lower: list[Fraction | None] = []
-        self._upper: list[Fraction | None] = []
+        self._lower: list[Fraction | int | None] = []
+        self._upper: list[Fraction | int | None] = []
         self._lower_reason: list[int | None] = []
         self._upper_reason: list[int | None] = []
-        self._beta: list[Fraction] = []
+        self._beta: list[Fraction | int] = []
         # Tableau: row per basic variable, mapping non-basic var -> coeff.
-        self._rows: dict[int, dict[int, Fraction]] = {}
+        self._rows: dict[int, dict[int, Fraction | int]] = {}
         # Column index: non-basic var -> set of basic vars whose row uses it.
         self._cols: dict[int, set[int]] = {}
         # Undo trail of (var, 'L'/'U', old_bound, old_reason).
-        self._undo: list[tuple[int, str, Fraction | None, int | None]] = []
+        self._undo: list[tuple[int, str, Fraction | int | None, int | None]] = []
         # Basic variables whose β may violate a bound (lazily validated).
         self._dirty: set[int] = set()
 
@@ -64,10 +69,10 @@ class Simplex:
         self._upper.append(_NO_BOUND)
         self._lower_reason.append(None)
         self._upper_reason.append(None)
-        self._beta.append(Fraction(0))
+        self._beta.append(0)
         return var
 
-    def define(self, combo: Mapping[int, Fraction]) -> int:
+    def define(self, combo: Mapping[int, Fraction | int]) -> int:
         """Create a slack variable ``s`` with the invariant ``s = combo``.
 
         ``combo`` may mention both basic and non-basic variables; basic ones
@@ -75,9 +80,8 @@ class Simplex:
         variables.  The new variable starts basic.
         """
         slack = self.new_var()
-        row: dict[int, Fraction] = {}
+        row: dict[int, Fraction | int] = {}
         for var, coeff in combo.items():
-            coeff = Fraction(coeff)
             definition = self._rows.get(var)
             if definition is None:
                 self._row_add(row, var, coeff)
@@ -88,13 +92,13 @@ class Simplex:
         for var in row:
             self._cols.setdefault(var, set()).add(slack)
         self._beta[slack] = sum(
-            (coeff * self._beta[var] for var, coeff in row.items()), Fraction(0)
+            (coeff * self._beta[var] for var, coeff in row.items()), 0
         )
         return slack
 
     @staticmethod
-    def _row_add(row: dict[int, Fraction], var: int, coeff: Fraction) -> None:
-        updated = row.get(var, Fraction(0)) + coeff
+    def _row_add(row: dict[int, Fraction | int], var: int, coeff: Fraction | int) -> None:
+        updated = row.get(var, 0) + coeff
         if updated:
             row[var] = updated
         else:
@@ -116,7 +120,7 @@ class Simplex:
                 self._upper[var] = bound
                 self._upper_reason[var] = reason
 
-    def assert_upper(self, var: int, bound: Fraction, reason: int) -> list[int] | None:
+    def assert_upper(self, var: int, bound: Fraction | int, reason: int) -> list[int] | None:
         """Assert ``var ≤ bound``; returns conflict reasons or None."""
         current = self._upper[var]
         if current is not None and current <= bound:
@@ -134,7 +138,7 @@ class Simplex:
             self._update_nonbasic(var, bound)
         return None
 
-    def assert_lower(self, var: int, bound: Fraction, reason: int) -> list[int] | None:
+    def assert_lower(self, var: int, bound: Fraction | int, reason: int) -> list[int] | None:
         """Assert ``var ≥ bound``; returns conflict reasons or None."""
         current = self._lower[var]
         if current is not None and current >= bound:
@@ -152,7 +156,7 @@ class Simplex:
             self._update_nonbasic(var, bound)
         return None
 
-    def _update_nonbasic(self, var: int, value: Fraction) -> None:
+    def _update_nonbasic(self, var: int, value: Fraction | int) -> None:
         delta = value - self._beta[var]
         self._beta[var] = value
         for basic in self._cols.get(var, ()):
@@ -245,9 +249,11 @@ class Simplex:
             raise Conflict([r for r in reasons if r is not None])
         self._pivot_and_update(basic, candidate, target)
 
-    def _pivot_and_update(self, basic: int, entering: int, value: Fraction) -> None:
+    def _pivot_and_update(self, basic: int, entering: int, value: Fraction | int) -> None:
         coeff = self._rows[basic][entering]
-        theta = (value - self._beta[basic]) / coeff
+        # Promotion point: division must stay exact, so wrap both sides
+        # (int / int would fall to float).
+        theta = Fraction(value - self._beta[basic]) / Fraction(coeff)
         self._beta[basic] = value
         self._beta[entering] += theta
         for other in self._cols.get(entering, ()):
@@ -264,9 +270,11 @@ class Simplex:
         for var in row:
             self._cols[var].discard(leaving)
         coeff = row.pop(entering)
-        new_row = {leaving: Fraction(1) / coeff}
+        # Promotion point: the only other division (see _pivot_and_update).
+        inv = Fraction(1) / Fraction(coeff)
+        new_row = {leaving: inv}
         for var, c in row.items():
-            new_row[var] = -c / coeff
+            new_row[var] = -c * inv
         self._rows[entering] = new_row
         for var in new_row:
             self._cols.setdefault(var, set()).add(entering)
@@ -288,11 +296,11 @@ class Simplex:
     # ------------------------------------------------------------------
     # Model access
     # ------------------------------------------------------------------
-    def value(self, var: int) -> Fraction:
+    def value(self, var: int) -> Fraction | int:
         return self._beta[var]
 
     def is_basic(self, var: int) -> bool:
         return var in self._rows
 
-    def bounds(self, var: int) -> tuple[Fraction | None, Fraction | None]:
+    def bounds(self, var: int) -> tuple[Fraction | int | None, Fraction | int | None]:
         return self._lower[var], self._upper[var]

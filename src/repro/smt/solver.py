@@ -149,6 +149,9 @@ class Solver:
         self._core: list[Term] | None = None
         self._formula_unsat: bool | None = None
         self.stats: dict[str, int] = {}
+        # Per-query deltas of the CDCL core's hot-loop profile counters
+        # (see Cdcl.profile); same delta discipline as ``stats``.
+        self.profile: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Cloning and serialization
@@ -326,18 +329,20 @@ class Solver:
             # the full canonical key set so per-query deltas stay uniform.
             self.stats = {key: 0 for key in self._sat.stats}
             self.stats["splits"] = 0
+            self.profile = {key: 0 for key in self._sat.profile()}
             self._core = []
             self._formula_unsat = True
             return Result.UNSAT
         assumption_lits = [self._cnf.literal(term) for term in assumptions]
         before = dict(self._sat.stats)
+        before_profile = self._sat.profile()
         self._sync()
         solve_assumptions = [*self._scopes, *assumption_lits]
         splits = 0
         while True:
             verdict = self._sat.solve(assumptions=solve_assumptions)
             if verdict != SAT:
-                self._finish_stats(before, splits)
+                self._finish_stats(before, before_profile, splits)
                 core_lits = set(self._sat.final_core)
                 seen: set[int] = set()
                 self._core = []
@@ -350,7 +355,7 @@ class Solver:
             fractional = self._bridge.fractional_var()
             if fractional is None:
                 self._model = self._extract_model()
-                self._finish_stats(before, splits)
+                self._finish_stats(before, before_profile, splits)
                 return Result.SAT
             splits += 1
             if splits > self._max_splits:
@@ -367,11 +372,20 @@ class Solver:
             self._sync()
             self._sat.add_clause(split_lits)
 
-    def _finish_stats(self, before: dict[str, int], splits: int) -> None:
+    def _finish_stats(
+        self,
+        before: dict[str, int],
+        before_profile: dict[str, int],
+        splits: int,
+    ) -> None:
         self.stats = {
             key: value - before.get(key, 0) for key, value in self._sat.stats.items()
         }
         self.stats["splits"] = splits
+        self.profile = {
+            key: value - before_profile.get(key, 0)
+            for key, value in self._sat.profile().items()
+        }
 
     def _extract_model(self) -> Model:
         ints: dict[IntVar, int] = {}
@@ -484,8 +498,8 @@ class Solver:
     # Introspection (used by benchmarks and tests)
     # ------------------------------------------------------------------
     def clause_count(self) -> int:
-        """Clauses in the CDCL core, including learned ones."""
-        return len(self._sat.clauses)
+        """Clauses in the CDCL core, including learned ones (O(1))."""
+        return self._sat.clause_count()
 
     def learned_count(self) -> int:
         """Live learnt clauses currently attached in the CDCL core."""

@@ -83,7 +83,7 @@ class IntVar:
 
     # Arithmetic sugar: IntVar behaves like the trivial LinExpr.
     def _lift(self) -> "LinExpr":
-        return LinExpr({self: Fraction(1)}, Fraction(0))
+        return LinExpr({self: 1}, 0)
 
     def __add__(self, other: "ExprLike") -> "LinExpr":
         return self._lift() + other
@@ -112,17 +112,20 @@ class LinExpr:
 
     __slots__ = ("coeffs", "const")
 
-    def __init__(self, coeffs: Mapping[IntVar, Fraction], const: Fraction):
-        self.coeffs: dict[IntVar, Fraction] = {
-            v: Fraction(c) for v, c in coeffs.items() if c
+    def __init__(self, coeffs: Mapping[IntVar, Fraction | int], const: Fraction | int):
+        # Coefficients stay machine ints when given as ints: LinExpr has
+        # no division, and _normalise_le handles mixed int/Fraction, so
+        # exactness never needs an eager Fraction promotion here.
+        self.coeffs: dict[IntVar, Fraction | int] = {
+            v: c for v, c in coeffs.items() if c
         }
-        self.const = Fraction(const)
+        self.const = const
 
     def __add__(self, other: "ExprLike") -> "LinExpr":
         other = as_linexpr(other)
         coeffs = dict(self.coeffs)
         for var, coeff in other.coeffs.items():
-            updated = coeffs.get(var, Fraction(0)) + coeff
+            updated = coeffs.get(var, 0) + coeff
             if updated:
                 coeffs[var] = updated
             else:
@@ -139,7 +142,6 @@ class LinExpr:
         return as_linexpr(other) - self
 
     def __mul__(self, factor: int | Fraction) -> "LinExpr":
-        factor = Fraction(factor)
         return LinExpr(
             {v: c * factor for v, c in self.coeffs.items()}, self.const * factor
         )
@@ -167,7 +169,7 @@ def as_linexpr(value: ExprLike) -> LinExpr:
     if isinstance(value, IntVar):
         return value._lift()
     if isinstance(value, (int, Fraction)):
-        return LinExpr({}, Fraction(value))
+        return LinExpr({}, value)
     raise TypeError(f"cannot interpret {value!r} as a linear expression")
 
 

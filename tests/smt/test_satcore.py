@@ -1,0 +1,221 @@
+"""Differential tests: flat-arena CDCL core vs the frozen reference core.
+
+The arena rewrite (:mod:`repro.smt.sat`) promises a byte-for-byte frozen
+behavioural contract against the pre-arena core it replaced, kept in
+:mod:`repro.smt._sat_reference`.  These tests enforce that promise:
+
+* random CNFs (with random reduction knobs and assumption sets) must
+  produce identical verdicts, models, failed-assumption cores and search
+  ``stats`` on both cores — identical *trajectories*, not just identical
+  answers;
+* the learned export must carry the same clauses (compared as multisets
+  of ``(lbd, sorted literals)`` — slot order inside a clause is the one
+  representational freedom the arena keeps);
+* warm session snapshots must round-trip through a real ``spawn`` worker
+  (the strictest start method), with ``SNAPSHOT_VERSION`` still 2 since
+  the export format did not change;
+* the satellite regressions: ``_decide`` may never fall back to a
+  full-array scan, and the ``profile()`` counters must be zeroed on the
+  early-UNSAT path exactly like ``stats``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import VerificationSession
+from repro.core.parallel import WorkerSession, _initialize_worker, _run_job
+from repro.netlib import running_example
+from repro.smt import _sat_reference, sat
+from repro.smt import serialize
+from repro.smt.solver import Result, Solver
+from repro.smt.terms import boolvar
+
+N_VARS = 8
+
+literals = st.integers(min_value=1, max_value=N_VARS).flatmap(
+    lambda v: st.sampled_from([v, -v])
+)
+clauses_strategy = st.lists(
+    st.lists(literals, min_size=1, max_size=4), min_size=0, max_size=20
+)
+assumptions_strategy = st.lists(literals, min_size=0, max_size=4)
+# Exercise the reduce_db path (tiny reduce_base forces early reductions)
+# and the reduction-free arena as well as the defaults.
+knobs_strategy = st.sampled_from(
+    [
+        {},
+        {"reduction": False},
+        {"reduce_base": 2, "reduce_growth": 1.0, "glue_cap": 3},
+        {"reduce_base": 4, "reduce_keep": 0.25},
+    ]
+)
+
+
+def _pair(knobs):
+    return sat.Cdcl(**knobs), _sat_reference.Cdcl(**knobs)
+
+
+def _export_multiset(core):
+    return sorted(
+        (lbd, tuple(sorted(lits)))
+        for lbd, lits in core.learned_clauses()
+    )
+
+
+def _assert_in_lockstep(arena, reference, verdict_a, verdict_r):
+    assert verdict_a == verdict_r
+    assert arena.stats == reference.stats, "search trajectories diverged"
+    if verdict_a == sat.SAT:
+        model_a = [arena.model_value(v) for v in range(1, N_VARS + 1)]
+        model_r = [reference.model_value(v) for v in range(1, N_VARS + 1)]
+        assert model_a == model_r
+    if verdict_a == sat.UNSAT:
+        assert arena.final_core == reference.final_core
+    assert _export_multiset(arena) == _export_multiset(reference)
+
+
+@given(clauses_strategy, assumptions_strategy, knobs_strategy)
+@settings(max_examples=200, deadline=None)
+def test_arena_matches_reference_single_solve(clauses, assumptions, knobs):
+    arena, reference = _pair(knobs)
+    arena.ensure_vars(N_VARS)
+    reference.ensure_vars(N_VARS)
+    for clause in clauses:
+        arena.add_clause(clause)
+        reference.add_clause(clause)
+    _assert_in_lockstep(
+        arena,
+        reference,
+        arena.solve(assumptions=assumptions),
+        reference.solve(assumptions=assumptions),
+    )
+
+
+@given(
+    clauses_strategy, clauses_strategy, assumptions_strategy, knobs_strategy
+)
+@settings(max_examples=150, deadline=None)
+def test_arena_matches_reference_incremental(
+    first, second, assumptions, knobs
+):
+    """Two solve rounds with clause additions in between stay in lockstep."""
+    arena, reference = _pair(knobs)
+    arena.ensure_vars(N_VARS)
+    reference.ensure_vars(N_VARS)
+    for clause in first:
+        arena.add_clause(clause)
+        reference.add_clause(clause)
+    assert arena.solve() == reference.solve()
+    for clause in second:
+        arena.add_clause(clause)
+        reference.add_clause(clause)
+    _assert_in_lockstep(
+        arena,
+        reference,
+        arena.solve(assumptions=assumptions),
+        reference.solve(assumptions=assumptions),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Satellite: no fallback scan in _decide
+# ---------------------------------------------------------------------------
+
+
+def test_decide_has_no_fallback_scan():
+    """Repeated solve() calls keep the heap invariant that makes the
+    scan-free ``_decide`` correct: every unassigned variable always has a
+    heap entry carrying its *current* activity."""
+    core = sat.Cdcl()
+    core.ensure_vars(N_VARS)
+    for clause in [[1, 2], [-1, 3], [-2, -3], [4, 5, 6], [-4, -5], [7, -8]]:
+        core.add_clause(clause)
+    for assumptions in ([], [1], [-3, 7], [2, -6], []):
+        assert core.solve(assumptions=assumptions) == sat.SAT
+        entries = set(core._heap)
+        for var in range(1, N_VARS + 1):
+            if core._val[var << 1] == 0:
+                assert (-core._activity[var], var) in entries, (
+                    f"unassigned var {var} lost its current-key heap entry"
+                )
+    # The old core walked every variable when the heap ran dry; the arena
+    # core's invariant makes that path dead, and it must stay deleted.
+    source = inspect.getsource(sat.Cdcl._decide)
+    assert "n_vars" not in source, "_decide regained a full-array scan"
+
+
+# ---------------------------------------------------------------------------
+# Satellite: profile() zeroed on the early-UNSAT path
+# ---------------------------------------------------------------------------
+
+
+def test_profile_zeroed_on_early_unsat():
+    solver = Solver()
+    x = boolvar("x")
+    solver.add(x)
+    assert solver.check() == Result.SAT
+    assert solver.profile["propagations"] >= 0
+    solver.add(~x)
+    assert solver.check() == Result.UNSAT
+    # Permanently UNSAT now: the next check takes the early-UNSAT path
+    # and must report a zero *delta*, not a stale one (the same contract
+    # bug class PR 2/PR 3 fixed for ``stats``).
+    assert solver.check() == Result.UNSAT
+    assert set(solver.profile) == {
+        "propagations",
+        "visited_watchers",
+        "blocker_hits",
+        "analyze_steps",
+        "arena_gc_words",
+    }
+    assert all(value == 0 for value in solver.profile.values())
+    assert all(value == 0 for value in solver.stats.values())
+
+
+def test_cdcl_profile_counts_propagations_consistently():
+    core = sat.Cdcl()
+    core.ensure_vars(3)
+    for clause in [[1, 2], [-1, 2], [-2, 3]]:
+        core.add_clause(clause)
+    assert core.solve() == sat.SAT
+    profile = core.profile()
+    assert profile["propagations"] == core.stats["propagations"]
+    assert profile["visited_watchers"] >= profile["blocker_hits"]
+
+
+# ---------------------------------------------------------------------------
+# Satellite: warm snapshots round-trip through real spawn workers
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_version_unchanged():
+    # The arena is an internal representation; the learned export is the
+    # same (lbd, literals) tuples, so snapshots need no version bump.
+    assert serialize.SNAPSHOT_VERSION == 2
+
+
+def test_warm_snapshot_round_trips_under_spawn():
+    session = VerificationSession(
+        running_example(queue_size=2).network, parametric_queues=True
+    )
+    session.verify()
+    snapshot = session.snapshot(include_learned=True)
+    assert snapshot.solver.learned, "warm snapshot shipped no learned clauses"
+    job = ("check", None, None, False)
+    with ProcessPoolExecutor(
+        max_workers=1,
+        mp_context=get_context("spawn"),
+        initializer=_initialize_worker,
+        initargs=(snapshot,),
+    ) as executor:
+        remote = executor.submit(_run_job, job).result(timeout=180)
+    local = WorkerSession(snapshot).run(job)
+    assert remote[0] == local[0]
+    if remote[0] == "unsat":
+        assert set(remote[1]) == set(local[1])
