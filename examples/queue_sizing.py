@@ -23,6 +23,14 @@ the 4x4 and 6x6 meshes, where the full set is the dominant encoding
 cost; tune with ``--rank-budget``) or ``none``; ``--save``/``--resume``
 checkpoint the grid so an interrupted run re-builds nothing.
 
+``--portfolio`` answers every probe through a racing
+:class:`repro.core.PortfolioSession` instead of committing to one
+strategy: diverse configurations (eager/lazy/partial × reduction and
+phase-seed variants) race from the same snapshot, the first verdict
+wins, losers are cancelled, and learned clauses flow between racers.
+``--query-jobs`` caps the racer count; resumed runs seed each scenario
+family's learned leader from the checkpoint's win record.
+
 Run:  python examples/queue_sizing.py [--max-mesh 3] [--jobs 4] [--sweep]
       python examples/queue_sizing.py --max-mesh 6 --invariants partial
 """
@@ -84,6 +92,13 @@ def main() -> None:
                         help="partial mode: initial escalation batch size")
     parser.add_argument("--lazy", action="store_true",
                         help="alias for --invariants lazy")
+    parser.add_argument("--portfolio", action="store_true",
+                        help="race the strategy portfolio per probe (first "
+                             "verdict wins, learned clauses shared); "
+                             "--query-jobs caps the racer count")
+    parser.add_argument("--query-jobs", type=int, default=None,
+                        help="inner per-scenario worker budget (racers with "
+                             "--portfolio); default 1")
     parser.add_argument("--save", metavar="PATH",
                         help="checkpoint results to PATH after each scenario")
     parser.add_argument("--resume", metavar="PATH",
@@ -102,8 +117,10 @@ def main() -> None:
     )
     result = experiment.run(
         jobs=args.jobs,
+        query_jobs=args.query_jobs,
         resume=args.resume,
         save_path=args.save,
+        portfolio=True if args.portfolio else None,
     )
     if result.reused:
         print(f"(resumed: {result.reused} scenarios reused, "
@@ -134,6 +151,11 @@ def main() -> None:
     print(f"\ngrid: {len(result.scenarios)} scenarios, "
           f"build {result.build_seconds:.2f}s / "
           f"query {result.query_seconds:.2f}s")
+    if args.portfolio:
+        wins = result.strategy_wins()
+        rendered = ", ".join(f"{name}:{count}" for name, count in wins.items())
+        print(f"portfolio: {result.portfolio_races} races won by "
+              f"{rendered or '<none>'}")
 
 
 if __name__ == "__main__":

@@ -58,6 +58,12 @@ from .parallel import (
     scenario_executor,
     shutdown_scenario_executors,
 )
+from .portfolio import (
+    PortfolioSession,
+    StrategyConfig,
+    default_strategies,
+    racer_budget,
+)
 from .proof import enumerate_witnesses, verify
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
 from .sizing import SizingResult, minimal_queue_size, sweep_queue_sizes
@@ -69,6 +75,10 @@ __all__ = [
     "VerificationSession",
     "ParallelVerificationSession",
     "WorkerSession",
+    "PortfolioSession",
+    "StrategyConfig",
+    "default_strategies",
+    "racer_budget",
     "Experiment",
     "ExperimentResult",
     "ScenarioSpec",

@@ -254,6 +254,14 @@ class ScenarioSpec:
     query_jobs:
         Inner query-level worker count for this scenario's sweep;
         ``None`` defers to the scheduler's nested-jobs budget.
+    portfolio:
+        Answer this scenario's probes through a racing
+        :class:`~repro.core.portfolio.PortfolioSession` (the query-jobs
+        budget becomes the racer budget).  Verdict-invariant by
+        construction — the portfolio's canonical verdicts are
+        byte-identical to sequential eager mode — so, like the
+        scheduling hints, it is *excluded* from :meth:`key`; the
+        per-strategy win record lands on the :class:`ScenarioResult`.
     label:
         Display label; defaults to a rendering of builder + kwargs.
     """
@@ -269,6 +277,7 @@ class ScenarioSpec:
     rank_budget: int | None = None
     rank_growth: int | None = None
     query_jobs: int | None = None
+    portfolio: bool = False
     label: str | None = None
 
     def __post_init__(self):
@@ -307,10 +316,12 @@ class ScenarioSpec:
     def key(self) -> str:
         """Canonical identity of this grid point (resume / dedup key).
 
-        Scheduling hints (``query_jobs``, ``label``) and the partial-mode
-        selection schedule (``rank_budget``, ``rank_growth``) are
-        excluded: they do not change the scenario's verdicts (escalation
-        terminates at the full set, so any schedule is byte-identical).
+        Scheduling hints (``query_jobs``, ``label``, ``portfolio``) and
+        the partial-mode selection schedule (``rank_budget``,
+        ``rank_growth``) are excluded: they do not change the scenario's
+        verdicts (escalation terminates at the full set and portfolio
+        racing reports the canonical verdicts, so any schedule is
+        byte-identical).
         :meth:`Experiment.run` warns when a resumed result was recorded
         under a different selection policy.
         """
@@ -391,6 +402,12 @@ class ScenarioResult:
     rank_histogram: dict[int, int] = field(default_factory=dict)
     rank_budget: int | None = None
     rank_growth: int | None = None
+    # Portfolio racing record (strategy name -> probes won, and the race
+    # count behind them).  Empty/zero when the scenario ran without a
+    # portfolio — and on results loaded from pre-portfolio checkpoints,
+    # which carry neither field.
+    strategy_wins: dict[str, int] = field(default_factory=dict)
+    portfolio_races: int = 0
     stats: dict = field(default_factory=dict)
 
     @classmethod
@@ -428,6 +445,8 @@ class ScenarioResult:
             rank_growth=resolve_rank_knob(spec.rank_growth, "growth")
             if partial
             else None,
+            strategy_wins=dict(sorted(sizing.strategy_wins.items())),
+            portfolio_races=sizing.portfolio_races,
             stats={"network": network_stats, "solver_totals": solver_totals},
         )
 
@@ -449,6 +468,13 @@ class ScenarioResult:
             payload["rank_histogram"] = {
                 int(tier): int(count)
                 for tier, count in payload["rank_histogram"].items()
+            }
+        # Pre-portfolio checkpoints carry neither field; the dataclass
+        # defaults (no wins, zero races) make them load unchanged.
+        if "strategy_wins" in payload:
+            payload["strategy_wins"] = {
+                str(name): int(count)
+                for name, count in payload["strategy_wins"].items()
             }
         return cls(**payload)
 
@@ -485,6 +511,18 @@ class ExperimentResult:
     @property
     def query_seconds(self) -> float:
         return sum(result.query_seconds for result in self.scenarios)
+
+    @property
+    def portfolio_races(self) -> int:
+        return sum(result.portfolio_races for result in self.scenarios)
+
+    def strategy_wins(self) -> dict[str, int]:
+        """Per-strategy probe wins summed over every scenario."""
+        wins: dict[str, int] = {}
+        for result in self.scenarios:
+            for name, count in result.strategy_wins.items():
+                wins[name] = wins.get(name, 0) + count
+        return dict(sorted(wins.items()))
 
     def verdict_bytes(self) -> bytes:
         """Canonical byte encoding of every scenario's verdicts — the
@@ -547,6 +585,8 @@ def run_scenario(
     spec: ScenarioSpec,
     query_jobs: int | None = None,
     backend: str = "process",
+    portfolio: bool | None = None,
+    portfolio_lead: str | None = None,
 ) -> ScenarioResult:
     """Build and answer one scenario end to end (the worker body).
 
@@ -555,10 +595,16 @@ def run_scenario(
     own sessions — nothing but the spec comes in and nothing but the
     compact result goes out.  ``query_jobs`` is the scheduler's
     nested-jobs budget; the spec's own :attr:`ScenarioSpec.query_jobs`
-    overrides it.
+    overrides it.  When the probes race through a portfolio, that same
+    budget caps the racer count (:func:`~repro.core.portfolio.racer_budget`),
+    so the two-level jobs accounting is unchanged.  ``portfolio=None``
+    defers to :attr:`ScenarioSpec.portfolio`; ``portfolio_lead`` names
+    the strategy the scheduler wants raced first (its learned leader for
+    this scenario's family).
     """
     start = perf_counter()
     inner = spec.query_jobs if spec.query_jobs is not None else (query_jobs or 1)
+    use_portfolio = spec.portfolio if portfolio is None else portfolio
     build = spec.build_callable()
     if spec.mode == "search":
         sizing = minimal_queue_size(
@@ -568,6 +614,9 @@ def run_scenario(
             invariants=spec.invariants,
             rank_budget=spec.rank_budget,
             rank_growth=spec.rank_growth,
+            portfolio=use_portfolio,
+            portfolio_jobs=inner,
+            portfolio_lead=portfolio_lead,
         )
     else:
         sizing = sweep_queue_sizes(
@@ -578,6 +627,8 @@ def run_scenario(
             invariants=spec.invariants,
             rank_budget=spec.rank_budget,
             rank_growth=spec.rank_growth,
+            portfolio=use_portfolio,
+            portfolio_lead=portfolio_lead,
         )
     return ScenarioResult.from_sizing(spec, sizing, perf_counter() - start)
 
@@ -664,6 +715,7 @@ class Experiment:
         resume: "ExperimentResult | str | Path | None" = None,
         save_path: str | Path | None = None,
         progress: Callable[[ScenarioResult], None] | None = None,
+        portfolio: bool | None = None,
     ) -> ExperimentResult:
         """Answer every grid point; returns grid-ordered results.
 
@@ -700,6 +752,16 @@ class Experiment:
             Callback invoked with each newly computed
             :class:`ScenarioResult` as it lands (worker completion
             order).
+        portfolio:
+            ``None`` (default) defers to each spec's
+            :attr:`ScenarioSpec.portfolio`; ``True``/``False`` overrides
+            the whole grid.  Portfolio scenarios are seeded with a
+            *learned leader*: the scheduler tallies per-strategy wins
+            from prior results of the same scenario family (same
+            builder) — resumed checkpoints and, on the inline path,
+            results landing earlier in this run — and races that
+            family's winningest strategy first.  Verdicts are unchanged
+            either way; only which racer tends to finish first is.
         """
         if backend not in ("process", "thread"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -768,6 +830,31 @@ class Experiment:
         }
         computed = 0
 
+        # Leader learning: per scenario *family* (builder name — the
+        # finest grain the grid shares solver behaviour across), tally
+        # which portfolio strategy won the most probes so far.  Scenario
+        # keys are JSON payloads, so the family of a resumed result is
+        # recoverable without its spec.
+        family_wins: dict[str, dict[str, int]] = {}
+
+        def credit_wins(key: str, wins: Mapping[str, int]) -> None:
+            family = json.loads(key)["builder"]
+            tally = family_wins.setdefault(family, {})
+            for name, count in wins.items():
+                tally[name] = tally.get(name, 0) + int(count)
+
+        for key, prior in completed.items():
+            if prior.strategy_wins:
+                credit_wins(key, prior.strategy_wins)
+
+        def lead_for(spec: ScenarioSpec) -> str | None:
+            tally = family_wins.get(spec.builder)
+            if not tally:
+                return None
+            # Deterministic argmax: most wins, ties broken by name.
+            best = max(sorted(tally), key=lambda name: tally[name])
+            return best if tally[best] > 0 else None
+
         def checkpoint() -> None:
             if save_path is None:
                 return
@@ -787,20 +874,41 @@ class Experiment:
             nonlocal computed
             results_by_key[result.key] = result
             computed += 1
+            if result.strategy_wins:
+                credit_wins(result.key, result.strategy_wins)
             checkpoint()
             if progress is not None:
                 progress(result)
 
         if pending:
             if jobs == 1:
+                # Inline scheduling learns within the run: each scenario's
+                # leader reflects every earlier result of its family.
                 for spec in pending:
-                    land(run_scenario(spec, query_jobs=inner, backend=backend))
+                    land(
+                        run_scenario(
+                            spec,
+                            query_jobs=inner,
+                            backend=backend,
+                            portfolio=portfolio,
+                            portfolio_lead=lead_for(spec),
+                        )
+                    )
             else:
                 executor = scenario_executor(
                     jobs, backend, epoch=registry_generation()
                 )
+                # Pool submissions are all in flight at once, so leaders
+                # come from the resume seed only (cross-*run* learning).
                 futures = [
-                    executor.submit(run_scenario, spec, inner, backend)
+                    executor.submit(
+                        run_scenario,
+                        spec,
+                        inner,
+                        backend,
+                        portfolio,
+                        lead_for(spec),
+                    )
                     for spec in pending
                 ]
                 try:

@@ -227,9 +227,15 @@ class WorkerSession:
     everything learned on the previous ones.
     """
 
-    def __init__(self, snapshot: SessionSnapshot):
+    def __init__(
+        self,
+        snapshot: SessionSnapshot,
+        reduction_overrides: dict | None = None,
+    ):
         self.snapshot = snapshot
-        self.solver, ints = restore_solver(snapshot.solver)
+        self.solver, ints = restore_solver(
+            snapshot.solver, reduction_overrides=reduction_overrides
+        )
         self._ints = ints
         self._capacities = {
             name: ints[uid] for name, uid in snapshot.capacity_uids
@@ -288,12 +294,19 @@ class WorkerSession:
         target: Target,
         sizes: SizesKey | None = None,
         want_witness: bool = True,
+        conflict_limit: int | None = None,
+        should_stop=None,
     ) -> tuple:
         """Answer one guard-literal query; returns a plain-data payload.
 
         ``sizes=None`` falls back to the snapshot's default sizes when
         the encoding is parametric (a bare-snapshot consumer probing the
         as-built configuration); an explicit pin list overrides.
+
+        ``conflict_limit``/``should_stop`` bound the call cooperatively
+        (see :meth:`Solver.check`); an expired slice yields the payload
+        ``("unknown", None, None, stats, elapsed)`` with all learning
+        retained, so the caller can import peer clauses and re-ask.
         """
         start = perf_counter()
         names = [self._guard_name(target)]
@@ -302,13 +315,17 @@ class WorkerSession:
         if sizes is not None:
             names.extend(self._capacity_assumption_names(sizes))
         outcome = self.solver.check(
-            assumptions=[boolvar(name) for name in names]
+            assumptions=[boolvar(name) for name in names],
+            conflict_limit=conflict_limit,
+            should_stop=should_stop,
         )
         elapsed = perf_counter() - start
         stats = dict(self.solver.stats)
         # Ride the existing stats slot so the payload tuple shape stays
         # frozen; the parent pops this back out in _merge.
         stats["profile"] = dict(self.solver.profile)
+        if outcome == Result.UNKNOWN:
+            return ("unknown", None, None, stats, elapsed)
         if outcome == Result.UNSAT:
             core = tuple(
                 getattr(term, "name", repr(term))
@@ -363,6 +380,8 @@ class WorkerSession:
         sizes: SizesKey | None,
         want_witness: bool,
         selector: InvariantSelector,
+        conflict_limit: int | None = None,
+        should_stop=None,
     ) -> tuple:
         """One probe under partial invariants (worker-local CEGAR loop).
 
@@ -372,16 +391,24 @@ class WorkerSession:
         row, or the full set is in force.  The strengthening is permanent,
         so later probes on this worker continue from it.  Returns the
         probe payload extended with this probe's selection delta.
+
+        Slice bounds apply per inner :meth:`check`; an ``"unknown"``
+        payload exits the loop (conjoined rows persist), so the next call
+        resumes the escalation where this slice stopped.
         """
         before = selector.counters()
-        payload = self.check(target, sizes, want_witness)
+        payload = self.check(
+            target, sizes, want_witness, conflict_limit, should_stop
+        )
         while payload[0] == "sat" and not selector.exhausted:
             batch = selector.next_batch(self._model_value_of())
             if not batch:
                 break  # candidate survives the full set: final
             for index in batch:
                 self.solver.add_global(self._row_term(selector.rows[index]))
-            payload = self.check(target, sizes, want_witness)
+            payload = self.check(
+                target, sizes, want_witness, conflict_limit, should_stop
+            )
         delta = InvariantSelector.counters_delta(selector.counters(), before)
         return (*payload, delta)
 

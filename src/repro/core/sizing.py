@@ -138,6 +138,11 @@ class SizingResult:
     lazy_escalations: int = 0
     invariants_generated: int = 0
     rank_histogram: dict[int, int] = field(default_factory=dict)
+    # Portfolio racing (strategy name -> races won); empty unless the
+    # search ran through a PortfolioSession.  ``portfolio_races`` counts
+    # the races behind those wins, so win *rates* survive aggregation.
+    strategy_wins: dict[str, int] = field(default_factory=dict)
+    portfolio_races: int = 0
 
     def pretty(self) -> str:
         probed = ", ".join(
@@ -167,6 +172,8 @@ class SizingResult:
         escalations = 0
         generated = 0
         histogram: dict[int, int] = {}
+        wins: dict[str, int] = {}
+        races = 0
         for part in parts:
             for size, free in part.probes.items():
                 if size in probes and probes[size] != free:
@@ -184,6 +191,9 @@ class SizingResult:
             generated += part.invariants_generated
             for tier, count in part.rank_histogram.items():
                 histogram[tier] = histogram.get(tier, 0) + count
+            for name, count in part.strategy_wins.items():
+                wins[name] = wins.get(name, 0) + count
+            races += part.portfolio_races
         free_sizes = [size for size, free in probes.items() if free]
         return cls(
             minimal_size=min(free_sizes) if free_sizes else None,
@@ -196,6 +206,8 @@ class SizingResult:
             lazy_escalations=escalations,
             invariants_generated=generated,
             rank_histogram=histogram,
+            strategy_wins=wins,
+            portfolio_races=races,
         )
 
 
@@ -227,6 +239,9 @@ def minimal_queue_size(
     invariants: str | None = None,
     rank_budget: int | None = None,
     rank_growth: int | None = None,
+    portfolio: bool = False,
+    portfolio_jobs: int | None = None,
+    portfolio_lead: str | None = None,
     **verify_kwargs,
 ) -> SizingResult:
     """Smallest uniform queue size for which ``build(size)`` verifies.
@@ -254,6 +269,17 @@ def minimal_queue_size(
         Partial-mode escalation schedule: the first batch size and the
         per-step growth factor
         (:class:`~repro.core.invariants.InvariantSelector` defaults).
+    portfolio:
+        Answer every probe through one persistent
+        :class:`~repro.core.portfolio.PortfolioSession` racing the
+        strategy roster (eager/lazy/partial + variants) with shared
+        clauses — verdicts identical to eager, wall-clock tracks the best
+        strategy per probe.  ``invariants`` is ignored (the roster spans
+        the modes); requires ``incremental=True``.  ``portfolio_jobs``
+        caps concurrent racers (``ADVOCAT_JOBS``/CPU budget otherwise)
+        and ``portfolio_lead`` names the strategy to race first (the
+        experiment scheduler passes its learned per-family leader).
+        The result's ``strategy_wins`` records who won each probe.
     verify_kwargs:
         Forwarded to :func:`repro.core.proof.verify` (``use_invariants``,
         ``rotating_precision``, ``max_splits``).
@@ -299,7 +325,48 @@ def minimal_queue_size(
         state["histogram"] = dict(state["selector"].rank_histogram)
         return result
 
-    if incremental:
+    portfolio_session = None
+    if portfolio:
+        if not incremental:
+            raise ValueError(
+                "portfolio=True probes through one persistent racing "
+                "session and requires incremental=True"
+            )
+        from .portfolio import PortfolioSession
+
+        base_network = timer.timed("build", lambda: build(low))
+        base_stats = base_network.stats()
+        base_queues = {q.name for q in base_network.queues()}
+        portfolio_session = timer.timed(
+            "build",
+            lambda: PortfolioSession(
+                network=base_network,
+                jobs=portfolio_jobs,
+                lead=portfolio_lead,
+                max_splits=verify_kwargs.get("max_splits", 100_000),
+            ),
+        )
+
+        def probe(size: int) -> bool:
+            if size not in probes:
+                built = timer.timed("build", lambda: build(size))
+                if (
+                    built.stats() != base_stats
+                    or {q.name for q in built.queues()} != base_queues
+                ):
+                    raise ValueError(
+                        "build(size) changed network structure, not just "
+                        "queue capacities; rerun with incremental=False"
+                    )
+                portfolio_session.resize_queues(
+                    {q.name: q.size for q in built.queues()}
+                )
+                result = timer.timed("query", portfolio_session.verify)
+                probes[size] = result.deadlock_free
+                results[size] = result
+            return probes[size]
+
+    elif incremental:
         base_network = timer.timed("build", lambda: build(low))
         base_stats = base_network.stats()
         base_queues = {q.name for q in base_network.queues()}
@@ -437,6 +504,16 @@ def minimal_queue_size(
         state["generated"] = max(
             len(result.invariants) for result in results.values()
         )
+    wins: dict[str, int] = {}
+    races = 0
+    if portfolio_session is not None:
+        wins = dict(portfolio_session.strategy_wins)
+        races = portfolio_session.races
+        state["added"] = True  # racers strengthen from the pending rows
+        state["generated"] = len(
+            portfolio_session._base_snapshot().pending_invariant_rows
+        )
+        portfolio_session.close()
     return SizingResult(
         minimal_size=minimal,
         probes=probes,
@@ -450,6 +527,8 @@ def minimal_queue_size(
         lazy_escalations=state["escalations"],
         invariants_generated=state["generated"],
         rank_histogram=dict(state["histogram"]),
+        strategy_wins=wins,
+        portfolio_races=races,
     )
 
 
@@ -548,6 +627,8 @@ def sweep_queue_sizes(
     invariants: str | None = None,
     rank_budget: int | None = None,
     rank_growth: int | None = None,
+    portfolio: bool = False,
+    portfolio_lead: str | None = None,
     **verify_kwargs,
 ) -> SizingResult:
     """Verdict per queue size over an explicit size list, sharded.
@@ -570,6 +651,15 @@ def sweep_queue_sizes(
     ``rank_growth`` shape the schedule); with ``jobs > 1`` the ranked
     rows travel inside the pool snapshot and each worker escalates
     locally — also verdict-identical to eager mode.
+
+    ``portfolio=True`` walks the size list sequentially through one
+    persistent :class:`~repro.core.portfolio.PortfolioSession` instead of
+    sharding sizes across workers: the parallelism budget (``jobs``,
+    routed through :func:`~repro.core.portfolio.racer_budget`) goes to
+    concurrent *racers* per probe rather than concurrent probes, and the
+    racers stay warm across the ascending walk.  ``invariants`` is
+    ignored (the roster spans the modes); ``strategy_wins`` records the
+    per-probe winners.
 
     ``build`` must vary only queue capacities (checked), as for the
     incremental ``minimal_queue_size``.  ``verify_kwargs`` forwards
@@ -597,7 +687,36 @@ def sweep_queue_sizes(
         },
     )
 
-    if jobs == 1:
+    if portfolio:
+        from .portfolio import PortfolioSession
+
+        psession = timer.timed(
+            "build",
+            lambda: PortfolioSession(
+                network=base_network,
+                jobs=jobs,
+                lead=portfolio_lead,
+                max_splits=verify_kwargs.get("max_splits", 100_000),
+            ),
+        )
+        part = SizingResult(minimal_size=None)
+        with psession:
+            for size in size_list:
+                psession.resize_queues(assignments[size])
+                result = timer.timed("query", psession.verify)
+                if not want_witness:
+                    result.witness = None
+                part.probes[size] = result.deadlock_free
+                part.results[size] = result
+            part.strategy_wins = dict(psession.strategy_wins)
+            part.portfolio_races = psession.races
+            generated = len(
+                psession._base_snapshot().pending_invariant_rows
+            )
+        merged = SizingResult.merge([part])
+        merged.invariants_used = True
+        merged.invariants_generated = generated
+    elif jobs == 1:
         session = timer.timed(
             "build",
             lambda: VerificationSession(

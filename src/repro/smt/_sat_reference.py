@@ -54,10 +54,11 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Iterable, Protocol, Sequence
 
-__all__ = ["Cdcl", "TheoryListener", "SAT", "UNSAT"]
+__all__ = ["Cdcl", "TheoryListener", "SAT", "UNSAT", "UNKNOWN"]
 
 SAT = "sat"
 UNSAT = "unsat"
+UNKNOWN = "unknown"
 
 _UNDEF = 0
 
@@ -163,6 +164,13 @@ class Cdcl:
             "reductions": 0,
             "reduced": 0,
             "kept_glue": 0,
+            # Cooperative-slicing counters mirrored from the arena core so
+            # the lockstep differentials can keep asserting full stats-dict
+            # equality.  The reference core never slices, so the first two
+            # stay zero; imported_rounds counts import_learned calls.
+            "conflict_limit_hits": 0,
+            "cancelled": 0,
+            "imported_rounds": 0,
         }
 
     @property
@@ -649,6 +657,7 @@ class Cdcl:
         Returns how many clauses were retained (units included).
         """
         self._backjump(0)
+        self.stats["imported_rounds"] += 1
         imported = 0
         for lbd, lits in clauses:
             if not self._ok:
@@ -726,6 +735,8 @@ class Cdcl:
         self,
         max_conflicts: int | None = None,
         assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+        should_stop=None,
     ) -> str:
         """Run search to a verdict.  Call repeatedly after adding clauses.
 
@@ -733,11 +744,16 @@ class Cdcl:
         every regular decision.  An UNSAT verdict caused by them leaves an
         inconsistent subset in :attr:`final_core`; a root-level conflict
         leaves the core empty and the solver permanently unsatisfiable.
+
+        ``conflict_limit``/``should_stop`` mirror the arena core's
+        cooperative slice bounds (UNKNOWN return, learning kept) so the
+        lockstep differentials can exercise sliced searches too.
         """
         self.final_core = []
         if not self._ok:
             return UNSAT
         self._backjump(0)
+        conflicts_entry = self.stats["conflicts"]
         if self.reduction and self._learnt_live >= self._reduce_limit:
             # Reduce between queries: bring root propagation to fixpoint
             # first (reduce_db's precondition; clauses added since the
@@ -754,6 +770,17 @@ class Cdcl:
         budget = _luby(restart_count + 1) * restart_unit
         conflicts_here = 0
         while True:
+            if should_stop is not None and should_stop():
+                self._backjump(0)
+                self.stats["cancelled"] += 1
+                return UNKNOWN
+            if (
+                conflict_limit is not None
+                and self.stats["conflicts"] - conflicts_entry >= conflict_limit
+            ):
+                self._backjump(0)
+                self.stats["conflict_limit_hits"] += 1
+                return UNKNOWN
             conflict = self._propagate()
             if conflict is None:
                 conflict_lits = self._theory_sync()

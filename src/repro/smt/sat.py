@@ -106,12 +106,13 @@ verification results.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Iterable, Protocol, Sequence
+from typing import Callable, Iterable, Protocol, Sequence
 
-__all__ = ["Cdcl", "TheoryListener", "SAT", "UNSAT"]
+__all__ = ["Cdcl", "TheoryListener", "SAT", "UNSAT", "UNKNOWN"]
 
 SAT = "sat"
 UNSAT = "unsat"
+UNKNOWN = "unknown"
 
 _UNDEF = 0
 
@@ -254,6 +255,13 @@ class Cdcl:
             "reductions": 0,
             "reduced": 0,
             "kept_glue": 0,
+            # Cooperative-slicing counters (the portfolio layer): budget
+            # expiries, cancellation polls that fired, and import rounds
+            # accepted through import_learned.  Part of the stable stat
+            # key set, so the early-UNSAT zeroing contract covers them.
+            "conflict_limit_hits": 0,
+            "cancelled": 0,
+            "imported_rounds": 0,
         }
         self._profile = {
             "propagations": 0,
@@ -1021,6 +1029,7 @@ class Cdcl:
         Returns how many clauses were retained (units included).
         """
         self._backjump(0)
+        self.stats["imported_rounds"] += 1
         imported = 0
         for lbd, lits in clauses:
             if not self._ok:
@@ -1100,6 +1109,8 @@ class Cdcl:
         self,
         max_conflicts: int | None = None,
         assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> str:
         """Run search to a verdict.  Call repeatedly after adding clauses.
 
@@ -1107,9 +1118,24 @@ class Cdcl:
         every regular decision.  An UNSAT verdict caused by them leaves an
         inconsistent subset in :attr:`final_core`; a root-level conflict
         leaves the core empty and the solver permanently unsatisfiable.
+
+        Two cooperative bounds turn a call into a *slice* (the portfolio
+        racing primitive): ``conflict_limit`` caps the conflicts spent in
+        *this call* and ``should_stop`` is a zero-argument callable polled
+        once per propagate cycle.  When either fires the call backjumps to
+        the root and returns :data:`UNKNOWN` — no verdict, no core, and
+        the solver stays fully reusable: everything learned during the
+        slice is kept, so a later call (possibly after importing peer
+        clauses) resumes where this one stopped.  ``conflict_limit``
+        expiry bumps ``stats["conflict_limit_hits"]``; a ``should_stop``
+        hit bumps ``stats["cancelled"]``.  (``max_conflicts`` is the older
+        *cumulative* budget that raises :class:`BudgetExceeded` instead —
+        a hard failure, not a slice boundary.)
         """
         try:
-            return self._solve(max_conflicts, assumptions)
+            return self._solve(
+                max_conflicts, assumptions, conflict_limit, should_stop
+            )
         finally:
             # Fold the int-accumulated hot-path counters into the public
             # stats/profile dicts on every exit (verdict or budget raise).
@@ -1119,11 +1145,14 @@ class Cdcl:
         self,
         max_conflicts: int | None,
         assumptions: Sequence[int],
+        conflict_limit: int | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> str:
         self.final_core = []
         if not self._ok:
             return UNSAT
         self._backjump(0)
+        conflicts_entry = self.stats["conflicts"]
         if self.reduction and self._learnt_live >= self._reduce_limit:
             # Reduce between queries: bring root propagation to fixpoint
             # first (reduce_db's precondition; clauses added since the
@@ -1142,6 +1171,20 @@ class Cdcl:
         budget = _luby(restart_count + 1) * restart_unit
         conflicts_here = 0
         while True:
+            # Cooperative slice bounds, polled once per propagate cycle so
+            # a losing racer stops within one cycle of being beaten.  Both
+            # exits leave the solver at the root with all learning kept.
+            if should_stop is not None and should_stop():
+                self._backjump(0)
+                self.stats["cancelled"] += 1
+                return UNKNOWN
+            if (
+                conflict_limit is not None
+                and self.stats["conflicts"] - conflicts_entry >= conflict_limit
+            ):
+                self._backjump(0)
+                self.stats["conflict_limit_hits"] += 1
+                return UNKNOWN
             conflict_ref = self._propagate()
             arena = self._arena  # _propagate may follow a reduce_db swap
             if conflict_ref < 0:

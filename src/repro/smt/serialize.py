@@ -143,7 +143,10 @@ def snapshot_solver(
     )
 
 
-def restore_solver(snapshot: SolverSnapshot):
+def restore_solver(
+    snapshot: SolverSnapshot,
+    reduction_overrides: dict[str, object] | None = None,
+):
     """Rehydrate ``(solver, ints)`` from a :class:`SolverSnapshot`.
 
     ``ints`` maps each *original* integer-variable uid to the freshly
@@ -151,6 +154,12 @@ def restore_solver(snapshot: SolverSnapshot):
     to build new arithmetic (capacity pins, blocking shapes) that composes
     with the snapshot's constraints.  Boolean variables need no map — a
     restored solver resolves them by name.
+
+    ``reduction_overrides`` replaces individual reduction-policy knobs
+    (``clause_reduction``, ``reduce_base``, ``glue_keep``, …) for the
+    restored solver only — the portfolio layer uses this to race
+    differently tuned lifecycles over one shared snapshot.  Overrides
+    never change verdicts, only search scheduling.
     """
     from .solver import Solver
 
@@ -159,11 +168,25 @@ def restore_solver(snapshot: SolverSnapshot):
             f"snapshot version {snapshot.version} is not supported "
             f"(expected {SNAPSHOT_VERSION})"
         )
-    solver = Solver(
-        max_splits=snapshot.max_splits,
-        clause_reduction=snapshot.reduction,
+    knobs: dict[str, object] = {
+        "clause_reduction": snapshot.reduction,
         **{name: value for name, value in snapshot.reduction_knobs},
-    )
+    }
+    if reduction_overrides:
+        unknown = set(reduction_overrides) - {
+            "clause_reduction",
+            "reduce_base",
+            "reduce_growth",
+            "glue_keep",
+            "glue_cap",
+            "reduce_keep",
+        }
+        if unknown:
+            raise ValueError(
+                f"unknown reduction override(s): {sorted(unknown)}"
+            )
+        knobs.update(reduction_overrides)
+    solver = Solver(max_splits=snapshot.max_splits, **knobs)
     cnf = solver._cnf
     cnf.n_vars = snapshot.n_vars
     cnf.clauses = [list(clause) for clause in snapshot.clauses]

@@ -43,11 +43,11 @@ from __future__ import annotations
 import enum
 from itertools import islice
 from math import floor
-from typing import Sequence
+from typing import Callable, Sequence
 
 from .cnf import CnfBuilder
 from .lia import LiaBridge
-from .sat import SAT, Cdcl
+from .sat import SAT, UNKNOWN, Cdcl
 from .terms import TRUE, IntVar, Term, ge, le
 
 __all__ = ["Solver", "Result", "Model", "SolverBudgetError"]
@@ -56,6 +56,10 @@ __all__ = ["Solver", "Result", "Model", "SolverBudgetError"]
 class Result(enum.Enum):
     SAT = "sat"
     UNSAT = "unsat"
+    # A cooperatively bounded check() ran out of its conflict slice or was
+    # told to stop (portfolio racing); no verdict, every learned clause and
+    # branch-and-bound split is retained for the next call.
+    UNKNOWN = "unknown"
 
 
 class SolverBudgetError(RuntimeError):
@@ -312,12 +316,24 @@ class Solver:
             self._sat.add_clause(clause)
         self._flushed_clauses = len(cnf.clauses)
 
-    def check(self, assumptions: Sequence[Term] = ()) -> Result:
+    def check(
+        self,
+        assumptions: Sequence[Term] = (),
+        conflict_limit: int | None = None,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> Result:
         """Decide the asserted formula, optionally under ``assumptions``.
 
         Assumptions are arbitrary terms that hold for this call only; all
         clauses learned while answering remain valid afterwards.  On UNSAT
         with assumptions, :meth:`unsat_core` returns a responsible subset.
+
+        ``conflict_limit`` bounds the SAT conflicts spent in this call
+        (shared across branch-and-bound iterations) and ``should_stop`` is
+        polled inside the search; when either fires the call returns
+        :attr:`Result.UNKNOWN` with no model/core, keeping every learned
+        clause and split so a later ``check`` resumes the work.  This is
+        the slice primitive the portfolio layer races on.
         """
         self._model = None
         self._core = None
@@ -340,7 +356,18 @@ class Solver:
         solve_assumptions = [*self._scopes, *assumption_lits]
         splits = 0
         while True:
-            verdict = self._sat.solve(assumptions=solve_assumptions)
+            remaining = None
+            if conflict_limit is not None:
+                spent = self._sat.stats["conflicts"] - before["conflicts"]
+                remaining = conflict_limit - spent
+            verdict = self._sat.solve(
+                assumptions=solve_assumptions,
+                conflict_limit=remaining,
+                should_stop=should_stop,
+            )
+            if verdict == UNKNOWN:
+                self._finish_stats(before, before_profile, splits)
+                return Result.UNKNOWN
             if verdict != SAT:
                 self._finish_stats(before, before_profile, splits)
                 core_lits = set(self._sat.final_core)

@@ -180,6 +180,11 @@ CANONICAL_STAT_KEYS = {
     "reduced",
     "kept_glue",
     "splits",
+    # Cooperative-slicing counters (portfolio racing): covered by the same
+    # zeroing contract — an early-UNSAT check() must report zeros for them.
+    "conflict_limit_hits",
+    "cancelled",
+    "imported_rounds",
 }
 
 
