@@ -19,6 +19,11 @@ Public entry points:
 * :class:`Experiment` / :class:`ScenarioSpec` — declarative topology grids
   (mesh sizes × directory positions × …) sharded across scenario workers,
   with resumable JSON results (:class:`ExperimentResult`).
+* :class:`Deadline` / :class:`RetryPolicy` / :class:`FaultPlan` — the
+  fault-tolerance layer (:mod:`repro.core.resilience`): wall-clock and
+  conflict budgets that surface as ``TIMEOUT`` verdicts, worker-crash
+  recovery with deterministic backoff, and the fault-injection harness
+  behind the chaos test suite.
 """
 
 from .colors import ColorDerivationError, ColorMap, derive_colors
@@ -65,6 +70,18 @@ from .portfolio import (
     racer_budget,
 )
 from .proof import enumerate_witnesses, verify
+from .resilience import (
+    Deadline,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+    WorkerCrashError,
+    WorkerFault,
+    WorkerHangError,
+    active_fault_plan,
+    install_fault_plan,
+)
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
 from .sizing import SizingResult, minimal_queue_size, sweep_queue_sizes
 from .vars import VarPool, color_label
@@ -118,4 +135,14 @@ __all__ = [
     "escalate_partial",
     "DEFAULT_RANK_BUDGET",
     "DEFAULT_RANK_GROWTH",
+    "Deadline",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "WorkerFault",
+    "WorkerCrashError",
+    "WorkerHangError",
+    "active_fault_plan",
+    "install_fault_plan",
 ]

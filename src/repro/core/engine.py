@@ -73,6 +73,7 @@ from .invariants import (
     generate_invariants,
     rank_invariants,
 )
+from .resilience import Deadline
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
 from .vars import VarPool
 
@@ -659,18 +660,37 @@ class VerificationSession:
             return label
         return getattr(term, "name", repr(term))
 
-    def _run(self, assumptions: list[Term]) -> VerificationResult:
+    def _run(
+        self, assumptions: list[Term], deadline=None
+    ) -> VerificationResult:
+        deadline = Deadline.coerce(deadline)
         solve_start = perf_counter()
-        with self.watch.phase("smt solving"):
-            outcome = self.solver.check(assumptions=assumptions)
+        pre_expired = deadline is not None and deadline.expired()
+        if pre_expired:
+            # Budget already gone: answer TIMEOUT without entering the
+            # solver (an expired deadline must never hang or mislead).
+            outcome = Result.UNKNOWN
+        else:
+            limit = deadline.remaining_conflicts() if deadline else None
+            stop = deadline.should_stop if deadline else None
+            with self.watch.phase("smt solving"):
+                outcome = self.solver.check(
+                    assumptions=assumptions,
+                    conflict_limit=limit,
+                    should_stop=stop,
+                )
+            if deadline is not None:
+                deadline.charge(self.solver.stats.get("conflicts", 0))
         stats = {
             "network": self.network.stats(),
             "color_pairs": self.colors.total_pairs(),
             "invariant_count": len(self._invariants),
             # Per-query deltas: this check's solver counters and wall time.
-            "solver": dict(self.solver.stats),
+            # (Empty when the deadline expired before the solver ran —
+            # the previous query's counters would be misleading here.)
+            "solver": {} if pre_expired else dict(self.solver.stats),
             # Hot-loop counters from the CDCL core (see Cdcl.profile).
-            "solver_profile": dict(self.solver.profile),
+            "solver_profile": {} if pre_expired else dict(self.solver.profile),
             "solve_seconds": perf_counter() - solve_start,
             # Cumulative session phase times (encoding built once, queries
             # accumulate under "smt solving") — not per-query.
@@ -678,6 +698,16 @@ class VerificationSession:
         }
         if self._parametric:
             stats["queue_sizes"] = dict(self._sizes)
+        if outcome == Result.UNKNOWN:
+            # Deadline expired (cooperative cancel or conflict-limit hit).
+            # Learning up to the cutoff stays in the solver; the session
+            # remains reusable, so a later retry resumes warm.
+            stats["timed_out"] = True
+            return VerificationResult(
+                Verdict.TIMEOUT,
+                invariants=list(self._invariants),
+                stats=stats,
+            )
         if outcome == Result.UNSAT:
             # Which assumed guards forced UNSAT — for a per-case query the
             # responsible deadlock case, for a parametric query the
@@ -706,34 +736,51 @@ class VerificationSession:
             stats=stats,
         )
 
-    def verify(self) -> VerificationResult:
+    def verify(self, deadline=None) -> VerificationResult:
         """The full deadlock check: "does *some* disjunct fire?"."""
         return self._run(
-            [self.encoding.any_guard, *self._capacity_assumptions()]
+            [self.encoding.any_guard, *self._capacity_assumptions()],
+            deadline=deadline,
         )
 
-    def verify_case(self, case: DeadlockCase) -> VerificationResult:
+    def verify_case(self, case: DeadlockCase, deadline=None) -> VerificationResult:
         """Check one tagged disjunct of the deadlock assertion."""
-        return self._run([case.guard, *self._capacity_assumptions()])
+        return self._run(
+            [case.guard, *self._capacity_assumptions()], deadline=deadline
+        )
 
-    def verify_channel(self, queue: Queue | str, color: Color) -> VerificationResult:
+    def verify_channel(
+        self, queue: Queue | str, color: Color, deadline=None
+    ) -> VerificationResult:
         """Can ``queue`` hold a permanently stuck ``color`` packet?"""
         name = queue if isinstance(queue, str) else queue.name
-        return self.verify_case(self.encoding.case_of("queue", name, color))
+        return self.verify_case(
+            self.encoding.case_of("queue", name, color), deadline=deadline
+        )
 
-    def verify_source(self, source: Source | str, color: Color) -> VerificationResult:
+    def verify_source(
+        self, source: Source | str, color: Color, deadline=None
+    ) -> VerificationResult:
         """Can ``source`` be permanently refused ``color`` packets?"""
         name = source if isinstance(source, str) else source.name
-        return self.verify_case(self.encoding.case_of("source", name, color))
+        return self.verify_case(
+            self.encoding.case_of("source", name, color), deadline=deadline
+        )
 
-    def verify_all_cases(self) -> list[VerificationResult]:
+    def verify_all_cases(self, deadline=None) -> list[VerificationResult]:
         """One verdict per deadlock case, in encoding order.
 
         The per-channel fan-out of the paper's workflow; the parallel
         session (:class:`repro.core.parallel.ParallelVerificationSession`)
-        answers the same list concurrently.
+        answers the same list concurrently.  One deadline bounds the
+        whole list: once it expires the remaining cases answer
+        ``TIMEOUT`` immediately.
         """
-        return [self.verify_case(case) for case in self.encoding.cases]
+        deadline = Deadline.coerce(deadline)
+        return [
+            self.verify_case(case, deadline=deadline)
+            for case in self.encoding.cases
+        ]
 
     def enumerate_witnesses(self, limit: int = 16) -> Iterator[DeadlockWitness]:
         """Yield distinct deadlock candidates (up to ``limit``).
@@ -818,7 +865,13 @@ def escalate_partial(
     escalation delta.
     """
     before = selector.counters()
-    while not result.deadlock_free and not selector.exhausted:
+    # A TIMEOUT result exits immediately: there is no model to refine
+    # against, and the caller owns the expired-budget handling.
+    while (
+        not result.deadlock_free
+        and not result.timed_out
+        and not selector.exhausted
+    ):
         batch = selector.next_batch(session.invariant_value_of())
         if not batch:
             break  # model satisfies the full remainder: candidate is final

@@ -50,7 +50,7 @@ import itertools
 import json
 import warnings
 from concurrent.futures import BrokenExecutor, as_completed
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -63,6 +63,7 @@ from .parallel import (
     nested_jobs,
     scenario_executor,
 )
+from .resilience import Deadline, RetryPolicy, maybe_inject
 from .sizing import (
     INVARIANT_MODES,
     SizingResult,
@@ -347,6 +348,7 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     def build(self, size: int | None = None) -> Network:
         """Construct this scenario's network (at ``size``, if given)."""
+        maybe_inject("builder")
         builder = resolve_builder(self.builder)
         kwargs = dict(self.kwargs)
         if size is not None:
@@ -409,6 +411,39 @@ class ScenarioResult:
     strategy_wins: dict[str, int] = field(default_factory=dict)
     portfolio_races: int = 0
     stats: dict = field(default_factory=dict)
+    # Structured failure record (None on success): set when a scenario
+    # exhausted the whole quarantine ladder (pool retries, then inline
+    # as-spec'd, then sequential eager) without producing verdicts.  A
+    # failed result still occupies its grid slot — the rest of the grid
+    # completes — and a resumed run retries it instead of reusing it.
+    failure: dict | None = None
+
+    @classmethod
+    def failed(
+        cls,
+        spec: ScenarioSpec,
+        error: BaseException,
+        attempts: int = 0,
+        total_seconds: float = 0.0,
+    ) -> "ScenarioResult":
+        """A placeholder result for a scenario that could not be answered."""
+        return cls(
+            key=spec.key(),
+            label=spec.display_label,
+            minimal_size=None,
+            probes={},
+            build_seconds=0.0,
+            query_seconds=0.0,
+            total_seconds=round(total_seconds, 6),
+            invariants_mode=spec.invariants,
+            invariants_used=False,
+            lazy_escalations=0,
+            failure={
+                "type": type(error).__name__,
+                "message": str(error),
+                "attempts": int(attempts),
+            },
+        )
 
     @classmethod
     def from_sizing(
@@ -494,12 +529,23 @@ class ExperimentResult:
     ``scenarios`` follows the experiment's deterministic grid order no
     matter which worker finished first.  ``computed`` / ``reused`` count
     this *run*'s work: a fully resumed run reports ``computed == 0``.
+
+    The resilience counters record how bumpy the run was: ``retries`` —
+    pool rebuilds after a worker crash plus per-scenario re-attempts;
+    ``degraded`` — scenarios that fell back to the sequential-eager rung
+    of the quarantine ladder; ``failures`` — scenarios that exhausted the
+    ladder and landed as :meth:`ScenarioResult.failed` placeholders.  All
+    three survive JSON checkpoints (and default to zero when loading a
+    pre-resilience checkpoint).
     """
 
     name: str
     scenarios: list[ScenarioResult] = field(default_factory=list)
     computed: int = 0
     reused: int = 0
+    failures: int = 0
+    retries: int = 0
+    degraded: int = 0
 
     def by_key(self) -> dict[str, ScenarioResult]:
         return {result.key: result for result in self.scenarios}
@@ -553,6 +599,9 @@ class ExperimentResult:
             "name": self.name,
             "computed": self.computed,
             "reused": self.reused,
+            "failures": self.failures,
+            "retries": self.retries,
+            "degraded": self.degraded,
             "scenarios": [result.to_json() for result in self.scenarios],
         }
 
@@ -566,6 +615,9 @@ class ExperimentResult:
             ],
             computed=int(data.get("computed", 0)),
             reused=int(data.get("reused", 0)),
+            failures=int(data.get("failures", 0)),
+            retries=int(data.get("retries", 0)),
+            degraded=int(data.get("degraded", 0)),
         )
 
     def save(self, path: str | Path) -> None:
@@ -587,6 +639,7 @@ def run_scenario(
     backend: str = "process",
     portfolio: bool | None = None,
     portfolio_lead: str | None = None,
+    deadline=None,
 ) -> ScenarioResult:
     """Build and answer one scenario end to end (the worker body).
 
@@ -600,9 +653,14 @@ def run_scenario(
     so the two-level jobs accounting is unchanged.  ``portfolio=None``
     defers to :attr:`ScenarioSpec.portfolio`; ``portfolio_lead`` names
     the strategy the scheduler wants raced first (its learned leader for
-    this scenario's family).
+    this scenario's family).  ``deadline`` bounds every probe
+    (:class:`~repro.core.resilience.Deadline` or wire tuple — it crosses
+    the scenario-pool boundary as plain data); sizes the budget could not
+    answer land as ``TIMEOUT`` probes, never hangs.
     """
     start = perf_counter()
+    maybe_inject("scenario-worker")
+    deadline = Deadline.coerce(deadline)
     inner = spec.query_jobs if spec.query_jobs is not None else (query_jobs or 1)
     use_portfolio = spec.portfolio if portfolio is None else portfolio
     build = spec.build_callable()
@@ -617,6 +675,7 @@ def run_scenario(
             portfolio=use_portfolio,
             portfolio_jobs=inner,
             portfolio_lead=portfolio_lead,
+            deadline=deadline,
         )
     else:
         sizing = sweep_queue_sizes(
@@ -629,6 +688,7 @@ def run_scenario(
             rank_growth=spec.rank_growth,
             portfolio=use_portfolio,
             portfolio_lead=portfolio_lead,
+            deadline=deadline,
         )
     return ScenarioResult.from_sizing(spec, sizing, perf_counter() - start)
 
@@ -716,6 +776,8 @@ class Experiment:
         save_path: str | Path | None = None,
         progress: Callable[[ScenarioResult], None] | None = None,
         portfolio: bool | None = None,
+        retry_policy: RetryPolicy | None = None,
+        deadline=None,
     ) -> ExperimentResult:
         """Answer every grid point; returns grid-ordered results.
 
@@ -762,6 +824,19 @@ class Experiment:
             results landing earlier in this run — and races that
             family's winningest strategy first.  Verdicts are unchanged
             either way; only which racer tends to finish first is.
+        retry_policy:
+            Backoff schedule for the fault-tolerant scheduler (defaults
+            to :class:`~repro.core.resilience.RetryPolicy`).  A scenario
+            that crashes its worker is resubmitted to a rebuilt pool up
+            to ``max_attempts`` times, then *quarantined*: re-run inline
+            as spec'd, then degraded to a sequential-eager fallback, and
+            only if that also fails recorded as a structured
+            :attr:`ScenarioResult.failure` — the rest of the grid always
+            completes.
+        deadline:
+            Optional :class:`~repro.core.resilience.Deadline` (or bare
+            seconds) bounding every probe; budget-exhausted probes land
+            as ``TIMEOUT`` verdicts with their stats retained.
         """
         if backend not in ("process", "thread"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -769,6 +844,8 @@ class Experiment:
         # would surface as an opaque pool failure mid-run.
         for spec in self.scenarios:
             resolve_builder(spec.builder)
+        policy = retry_policy or RetryPolicy()
+        deadline = Deadline.coerce(deadline)
         completed: dict[str, ScenarioResult] = {}
         if resume is not None:
             if not isinstance(resume, ExperimentResult):
@@ -777,6 +854,13 @@ class Experiment:
                 else:
                     resume = ExperimentResult(name=self.name)
             completed = resume.by_key()
+            # Failure placeholders are never *reused*: a resumed run gets
+            # a fresh shot at the scenarios the previous run quarantined.
+            completed = {
+                key: result
+                for key, result in completed.items()
+                if result.failure is None
+            }
 
         grid_keys = [spec.key() for spec in self.scenarios]
         pending = [
@@ -829,6 +913,9 @@ class Experiment:
             key: completed[key] for key in grid_keys if key in completed
         }
         computed = 0
+        failures = 0
+        retries = 0
+        degraded = 0
 
         # Leader learning: per scenario *family* (builder name — the
         # finest grain the grid shares solver behaviour across), tally
@@ -867,6 +954,9 @@ class Experiment:
                 ],
                 computed=computed,
                 reused=reused,
+                failures=failures,
+                retries=retries,
+                degraded=degraded,
             )
             partial.save(save_path)
 
@@ -880,55 +970,160 @@ class Experiment:
             if progress is not None:
                 progress(result)
 
+        def run_quarantined(spec: ScenarioSpec, attempts: int) -> ScenarioResult:
+            """The in-process rungs of the quarantine ladder.
+
+            A scenario lands here after exhausting its pool attempts (or
+            after its worker answered with an exception): first re-run it
+            inline exactly as spec'd, then degrade to a sequential-eager
+            single-session replay (same key — ``portfolio``/``query_jobs``
+            are verdict-invariant scheduling hints), and only when that
+            also fails return a structured failure placeholder so the
+            rest of the grid still completes.
+            """
+            nonlocal failures, retries, degraded
+            start = perf_counter()
+            retries += 1
+            try:
+                return run_scenario(
+                    spec,
+                    query_jobs=inner,
+                    backend=backend,
+                    portfolio=portfolio,
+                    portfolio_lead=lead_for(spec),
+                    deadline=deadline,
+                )
+            except Exception:
+                pass
+            degraded += 1
+            fallback = replace(spec, portfolio=False, query_jobs=1)
+            try:
+                return run_scenario(
+                    fallback,
+                    query_jobs=1,
+                    backend=backend,
+                    portfolio=False,
+                    deadline=deadline,
+                )
+            except Exception as error:
+                failures += 1
+                return ScenarioResult.failed(
+                    spec,
+                    error,
+                    attempts=attempts,
+                    total_seconds=perf_counter() - start,
+                )
+
         if pending:
             if jobs == 1:
                 # Inline scheduling learns within the run: each scenario's
                 # leader reflects every earlier result of its family.
                 for spec in pending:
-                    land(
-                        run_scenario(
-                            spec,
-                            query_jobs=inner,
-                            backend=backend,
-                            portfolio=portfolio,
-                            portfolio_lead=lead_for(spec),
+                    try:
+                        land(
+                            run_scenario(
+                                spec,
+                                query_jobs=inner,
+                                backend=backend,
+                                portfolio=portfolio,
+                                portfolio_lead=lead_for(spec),
+                                deadline=deadline,
+                            )
                         )
-                    )
+                    except Exception:
+                        land(run_quarantined(spec, attempts=1))
             else:
-                executor = scenario_executor(
-                    jobs, backend, epoch=registry_generation()
-                )
-                # Pool submissions are all in flight at once, so leaders
-                # come from the resume seed only (cross-*run* learning).
-                futures = [
-                    executor.submit(
-                        run_scenario,
-                        spec,
-                        inner,
-                        backend,
-                        portfolio,
-                        lead_for(spec),
+                # Fault-tolerant pool scheduling.  Every spec carries an
+                # attempt count; a BrokenExecutor (worker crash) evicts
+                # the poisoned pool, backs off, and resubmits whatever
+                # has not landed yet to a fresh one.  A spec that burns
+                # through ``policy.max_attempts`` pool rounds without
+                # landing — the crash-the-worker-every-time case — is
+                # quarantined onto the inline ladder instead of poisoning
+                # pool after pool.
+                attempts = {spec.key(): 0 for spec in pending}
+                remaining = list(pending)
+                crash_round = 0
+                wire = None if deadline is None else deadline.to_wire()
+                while remaining:
+                    pooled = []
+                    for spec in remaining:
+                        if attempts[spec.key()] >= policy.max_attempts:
+                            land(
+                                run_quarantined(
+                                    spec, attempts=attempts[spec.key()]
+                                )
+                            )
+                        else:
+                            pooled.append(spec)
+                    remaining = []
+                    if not pooled:
+                        break
+                    executor = scenario_executor(
+                        jobs, backend, epoch=registry_generation()
                     )
-                    for spec in pending
-                ]
-                try:
-                    for future in as_completed(futures):
-                        land(future.result())
-                except BrokenExecutor:
-                    # A dead worker poisons the pool permanently; evict
-                    # the cached entry so the next run gets a fresh one
-                    # (and can resume from the checkpoint, if any).
-                    discard_scenario_executor(jobs, backend)
-                    raise
-                finally:
-                    for future in futures:
-                        future.cancel()
+                    # Pool submissions are all in flight at once, so
+                    # leaders come from the resume seed only
+                    # (cross-*run* learning).  The deadline crosses the
+                    # pool boundary as its wire tuple: worker clocks are
+                    # not comparable with ours.
+                    future_spec = {}
+                    for spec in pooled:
+                        attempts[spec.key()] += 1
+                        future = executor.submit(
+                            run_scenario,
+                            spec,
+                            inner,
+                            backend,
+                            portfolio,
+                            lead_for(spec),
+                            wire,
+                        )
+                        future_spec[future] = spec
+                    try:
+                        for future in as_completed(future_spec):
+                            spec = future_spec[future]
+                            try:
+                                land(future.result())
+                            except BrokenExecutor:
+                                raise
+                            except Exception:
+                                # The worker answered with an exception
+                                # (builder bug, injected raise): the pool
+                                # is intact; quarantine just this spec.
+                                land(
+                                    run_quarantined(
+                                        spec, attempts=attempts[spec.key()]
+                                    )
+                                )
+                    except BrokenExecutor:
+                        # A dead worker poisons the pool permanently;
+                        # evict the cached entry, back off, and rerun
+                        # everything that has not landed against a fresh
+                        # pool (the checkpoint, if any, already holds
+                        # what did land).
+                        discard_scenario_executor(jobs, backend)
+                        retries += 1
+                        remaining = [
+                            spec
+                            for spec in future_spec.values()
+                            if spec.key() not in results_by_key
+                        ]
+                        if remaining:
+                            policy.sleep(crash_round)
+                            crash_round += 1
+                    finally:
+                        for future in future_spec:
+                            future.cancel()
 
         result = ExperimentResult(
             name=self.name,
             scenarios=[results_by_key[key] for key in grid_keys],
             computed=computed,
             reused=reused,
+            failures=failures,
+            retries=retries,
+            degraded=degraded,
         )
         if save_path is not None:
             result.save(save_path)

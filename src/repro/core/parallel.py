@@ -47,7 +47,11 @@ from __future__ import annotations
 import os
 import sys
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from fractions import Fraction
 from multiprocessing import get_all_start_methods, get_context
 from time import perf_counter
@@ -66,6 +70,7 @@ from .engine import (
 )
 from .invariants import InvariantSelector
 from .proof import extract_witness
+from .resilience import Deadline, RetryPolicy, maybe_inject
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
 
 __all__ = [
@@ -428,16 +433,49 @@ class WorkerSession:
         if bools:
             self.solver.phase_hints(bools)
 
+    def _bounded_check(
+        self, deadline, target, sizes, want_witness, selector=None
+    ) -> tuple:
+        """One probe under a worker-local :class:`Deadline` (or none).
+
+        An expired budget short-circuits to the ``"unknown"`` payload
+        without entering the solver; otherwise the remaining budget
+        becomes this check's ``conflict_limit``/``should_stop`` and the
+        conflicts actually spent are charged back, so a shard's probes
+        share one budget.
+        """
+        if deadline is not None and deadline.expired():
+            return ("unknown", None, None, {"timed_out": True}, 0.0)
+        limit = deadline.remaining_conflicts() if deadline else None
+        stop = deadline.should_stop if deadline else None
+        if selector is not None:
+            payload = self.check_escalating(
+                target, sizes, want_witness, selector, limit, stop
+            )
+        else:
+            payload = self.check(target, sizes, want_witness, limit, stop)
+        if deadline is not None:
+            deadline.charge(payload[3].get("conflicts", 0))
+        return payload
+
     def run(self, job: Job):
+        # Every job kind accepts one optional trailing element: a
+        # Deadline wire tuple (remaining seconds, remaining conflicts),
+        # rebuilt here so the worker enforces the budget on its own
+        # clock.  Jobs without it keep the frozen pre-deadline shape.
         kind = job[0]
         if kind == "check":
-            _, target, sizes, want_witness = job
-            return self.check(target, sizes, want_witness)
+            _, target, sizes, want_witness, *rest = job
+            deadline = Deadline.from_wire(rest[0]) if rest else None
+            return self._bounded_check(deadline, target, sizes, want_witness)
         if kind == "shard":
-            _, probes, want_witness = job
+            _, probes, want_witness, *rest = job
+            deadline = Deadline.from_wire(rest[0]) if rest else None
             payloads = []
             for target, sizes in probes:
-                payload = self.check(target, sizes, want_witness)
+                payload = self._bounded_check(
+                    deadline, target, sizes, want_witness
+                )
                 payloads.append(payload)
                 if payload[0] == "sat":
                     self._seed_phases_from_sat(payload)
@@ -446,12 +484,13 @@ class WorkerSession:
             # An escalating shard: same ordered walk as "shard", but every
             # surviving candidate first runs the worker-local escalation
             # loop over the snapshot's pending invariant rows.
-            _, probes, want_witness, rank_budget, rank_growth = job
+            _, probes, want_witness, rank_budget, rank_growth, *rest = job
+            deadline = Deadline.from_wire(rest[0]) if rest else None
             selector = self._ensure_selector(rank_budget, rank_growth)
             payloads = []
             for target, sizes in probes:
-                payload = self.check_escalating(
-                    target, sizes, want_witness, selector
+                payload = self._bounded_check(
+                    deadline, target, sizes, want_witness, selector
                 )
                 payloads.append(payload)
                 if payload[0] == "sat":
@@ -479,6 +518,10 @@ def _initialize_thread_worker(template: WorkerSession) -> None:
 
 
 def _run_job(job: Job):
+    # Fault-injection point: a worker-side kill/raise lands here, before
+    # the solver runs, so an injected crash never leaves a half-merged
+    # payload (see repro.core.resilience).
+    maybe_inject("query-worker")
     return _WORKER.session.run(job)
 
 
@@ -547,6 +590,7 @@ class ParallelVerificationSession:
         reduction_opts: Mapping | None = None,
         partial_invariants: bool = False,
         spec: SessionSpec | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         if backend not in ("process", "thread"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -575,6 +619,11 @@ class ParallelVerificationSession:
         self._partial_invariants = partial_invariants
         self._reduction_opts = dict(reduction_opts or {}) or None
         self._max_splits = max_splits
+        self.retry_policy = retry_policy or RetryPolicy()
+        # Recovery accounting: pool rebuilds after a BrokenExecutor, and
+        # whether the session fell back to the inline worker for good.
+        self.recoveries = 0
+        self.degraded = False
         self._parametric = spec.parametric
         self._sizes: dict[str, int] = dict(spec.initial_sizes)
         self._executor = None
@@ -785,6 +834,15 @@ class ParallelVerificationSession:
         if len(payload) > 5 and payload[5] is not None:
             # Escalating probes report their worker-local selection delta.
             stats["invariant_selection"] = payload[5]
+        if kind == "unknown":
+            # The worker's slice of the run budget expired: a first-class
+            # TIMEOUT, with whatever stats the cutoff left behind.
+            stats["timed_out"] = True
+            return VerificationResult(
+                Verdict.TIMEOUT,
+                invariants=list(invariants),
+                stats=stats,
+            )
         if kind == "unsat":
             core = [
                 self._label_by_guard_name.get(name, name) for name in a
@@ -814,26 +872,60 @@ class ParallelVerificationSession:
         want = jobs if jobs is not None else self.jobs
         if want < 1:
             raise ValueError(f"jobs must be >= 1, got {want}")
-        if self._sequential_fallback(want):
+        if self._sequential_fallback(want) or self.degraded:
             # Same snapshot + query protocol, no pool: a single worker
             # answers in-process, so small machines pay neither process
             # startup nor serialization and never regress below the
-            # sequential session.
+            # sequential session.  A quarantined (degraded) session stays
+            # inline — its workers died max_attempts times already.
             self.jobs = want
             self._shutdown_pool()
             worker = self._ensure_inline()
             return [worker.run(job) for job in jobs_list]
-        executor = self._ensure_pool(want)
-        return list(executor.map(_run_job, jobs_list, chunksize=chunksize))
+        policy = self.retry_policy
+        for attempt in range(policy.max_attempts):
+            try:
+                maybe_inject("parallel-pool")
+                executor = self._ensure_pool(want)
+                return list(
+                    executor.map(_run_job, jobs_list, chunksize=chunksize)
+                )
+            except BrokenExecutor:
+                # A worker died mid-map and poisoned the pool.  Tear it
+                # down and rebuild from the same warm snapshot: replaying
+                # the identical job list over the identical snapshot is
+                # what keeps recovered verdicts byte-identical.
+                self._shutdown_pool(wait=False)
+                self.recoveries += 1
+                if attempt + 1 < policy.max_attempts:
+                    policy.sleep(attempt)
+        # Workers died on every attempt (e.g. a job deterministically
+        # crashes its process).  Quarantine the pool: degrade to the
+        # in-process WorkerSession — same snapshot, same job protocol —
+        # so the query still lands instead of aborting the caller.
+        self.degraded = True
+        worker = self._ensure_inline()
+        return [worker.run(job) for job in jobs_list]
 
-    def verify(self) -> VerificationResult:
+    @staticmethod
+    def _job_tail(deadline) -> tuple:
+        """The optional trailing wire-deadline element of a job tuple.
+
+        Jobs without a deadline keep the frozen pre-deadline shape, so
+        payload caches and third-party job producers stay byte-compatible.
+        """
+        if deadline is None:
+            return ()
+        return (Deadline.coerce(deadline).to_wire(),)
+
+    def verify(self, deadline=None) -> VerificationResult:
         """The full deadlock check, answered by one pool worker."""
         payload = self._dispatch(
-            [("check", None, self._sizes_key(), True)]
+            [("check", None, self._sizes_key(), True, *self._job_tail(deadline))]
         )[0]
         return self._merge(payload)
 
-    def verify_case(self, case: DeadlockCase) -> VerificationResult:
+    def verify_case(self, case: DeadlockCase, deadline=None) -> VerificationResult:
         payload = self._dispatch(
             [
                 (
@@ -841,29 +933,44 @@ class ParallelVerificationSession:
                     self._index_by_guard_name[case.guard.name],
                     self._sizes_key(),
                     True,
+                    *self._job_tail(deadline),
                 )
             ]
         )[0]
         return self._merge(payload)
 
-    def verify_channel(self, queue: Queue | str, color: Color) -> VerificationResult:
+    def verify_channel(
+        self, queue: Queue | str, color: Color, deadline=None
+    ) -> VerificationResult:
         name = queue if isinstance(queue, str) else queue.name
-        return self.verify_case(self.encoding.case_of("queue", name, color))
+        return self.verify_case(
+            self.encoding.case_of("queue", name, color), deadline=deadline
+        )
 
-    def verify_source(self, source: Source | str, color: Color) -> VerificationResult:
+    def verify_source(
+        self, source: Source | str, color: Color, deadline=None
+    ) -> VerificationResult:
         name = source if isinstance(source, str) else source.name
-        return self.verify_case(self.encoding.case_of("source", name, color))
+        return self.verify_case(
+            self.encoding.case_of("source", name, color), deadline=deadline
+        )
 
-    def verify_all_cases(self, jobs: int | None = None) -> list[VerificationResult]:
+    def verify_all_cases(
+        self, jobs: int | None = None, deadline=None
+    ) -> list[VerificationResult]:
         """Every deadlock case concurrently; results in encoding order.
 
         The merge is deterministic (first-witness-stable): result ``i``
         always corresponds to ``encoding.cases[i]`` no matter which worker
-        answered first.
+        answered first.  A deadline ships its budget *remaining at
+        dispatch* to every job: cases run concurrently, so each worker
+        enforces the same wall-clock window locally (the conflict budget,
+        when given, is per case).
         """
         sizes = self._sizes_key()
+        tail = self._job_tail(deadline)
         job_list: list[Job] = [
-            ("check", index, sizes, True)
+            ("check", index, sizes, True, *tail)
             for index in range(len(self.encoding.cases))
         ]
         pool_size = jobs if jobs is not None else self.jobs
@@ -876,6 +983,7 @@ class ParallelVerificationSession:
         shards: Sequence[Sequence[Mapping[str, int]]],
         want_witness: bool = True,
         escalation: tuple[int | None, int | None] | None = None,
+        deadline=None,
     ) -> list[list[VerificationResult]]:
         """Run the full check under each capacity assignment, sharded.
 
@@ -908,6 +1016,7 @@ class ParallelVerificationSession:
             ]
             for shard in shards
         ]
+        tail = self._job_tail(deadline)
         if escalation is None:
             job_list: list[Job] = [
                 (
@@ -916,6 +1025,7 @@ class ParallelVerificationSession:
                         (None, tuple(sorted(full.items()))) for full in shard
                     ),
                     want_witness,
+                    *tail,
                 )
                 for shard in full_shards
             ]
@@ -930,6 +1040,7 @@ class ParallelVerificationSession:
                     want_witness,
                     rank_budget,
                     rank_growth,
+                    *tail,
                 )
                 for shard in full_shards
             ]
@@ -960,4 +1071,6 @@ class ParallelVerificationSession:
             "warm_start": self.warm_start,
             "pool_running": self._executor is not None,
             "inline_worker": self._inline is not None,
+            "recoveries": self.recoveries,
+            "degraded": self.degraded,
         }

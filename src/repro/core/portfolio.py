@@ -77,6 +77,15 @@ from .parallel import (
     default_jobs,
 )
 from .proof import extract_witness
+from .resilience import (
+    Deadline,
+    RetryPolicy,
+    WorkerCrashError,
+    WorkerHangError,
+    drain_queue,
+    maybe_inject,
+    reap_process,
+)
 from .result import Verdict, VerificationResult
 from ..smt import Model
 
@@ -330,6 +339,11 @@ def _racer_main(
             command = inbox.get()
             if command[0] == "quit":
                 break
+            # Fault-injection point: a kill exits this child hard, a
+            # drop swallows the slice (the parent observes a hang), a
+            # raise ships an error reply via the except below.
+            if maybe_inject("racer-slice") == "drop":
+                continue
             _, seq, target, sizes, want_witness, limit, imports = command
             racer.import_clauses(imports)
             final, payload = racer.slice(
@@ -400,6 +414,9 @@ class PortfolioSession:
         max_splits: int = 100_000,
         force_race: bool = False,
         lead: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        reply_timeout: float = 300.0,
+        shutdown_timeout: float = 10.0,
     ):
         if backend not in (None, "process", "inline"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -419,6 +436,8 @@ class PortfolioSession:
             )
         if slice_growth < 1.0:
             raise ValueError(f"slice_growth must be >= 1, got {slice_growth}")
+        if reply_timeout <= 0:
+            raise ValueError(f"reply_timeout must be > 0, got {reply_timeout}")
         self.spec = spec
         self.network = spec.network
         self.colors = spec.colors
@@ -467,6 +486,17 @@ class PortfolioSession:
         self._outbox = None
         self._events = None
         self._seqs: list[int] | None = None
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.reply_timeout = reply_timeout
+        self.shutdown_timeout = shutdown_timeout
+        # Recovery accounting: racer-fleet rebuilds after a crash/hang,
+        # and whether the session was quarantined to the inline backend.
+        self.recoveries = 0
+        self.degraded = False
+        # Cumulative per-racer conflict counters at the last reply —
+        # the baseline that turns warm children's cumulative summaries
+        # into per-race deltas for conflict-budget accounting.
+        self._cum_conflicts: dict[int, int] = {}
         self.strategy_wins: dict[str, int] = {
             strategy.name: 0 for strategy in roster
         }
@@ -502,24 +532,46 @@ class PortfolioSession:
             )
         return self._snapshot
 
-    def close(self) -> None:
-        """Stop child racers (the spec and tallies stay usable)."""
-        if self._procs is not None:
+    def _teardown_procs(self, graceful: bool = True) -> None:
+        """Stop and forget the child racers, however unhealthy.
+
+        Cancel events fire first (a child mid-slice aborts within one
+        propagate cycle instead of running its slice out), then the quit
+        commands, then join → ``terminate()`` → ``kill()`` escalation
+        (:func:`~repro.core.resilience.reap_process`) so a wedged child
+        can never leave a zombie behind.  Queues are drained afterwards —
+        dropping one with buffered items can hang interpreter shutdown on
+        its feeder thread.
+        """
+        if self._procs is None:
+            return
+        for event in self._events or ():
+            try:
+                event.set()
+            except Exception:
+                pass
+        if graceful:
             for inbox in self._inboxes:
                 try:
                     inbox.put(("quit",))
                 except Exception:
                     pass
-            for proc in self._procs:
-                proc.join(timeout=10)
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=10)
-            self._procs = None
-            self._inboxes = None
-            self._outbox = None
-            self._events = None
-            self._seqs = None
+        for proc in self._procs:
+            reap_process(proc, timeout=self.shutdown_timeout)
+        for inbox in self._inboxes or ():
+            drain_queue(inbox)
+        if self._outbox is not None:
+            drain_queue(self._outbox)
+        self._procs = None
+        self._inboxes = None
+        self._outbox = None
+        self._events = None
+        self._seqs = None
+        self._cum_conflicts = {}
+
+    def close(self) -> None:
+        """Stop child racers (the spec and tallies stay usable)."""
+        self._teardown_procs(graceful=True)
         self._inline_racers = None
 
     def __enter__(self) -> "PortfolioSession":
@@ -554,22 +606,28 @@ class PortfolioSession:
     # ------------------------------------------------------------------
     # Racing
     # ------------------------------------------------------------------
-    def verify(self) -> VerificationResult:
+    def verify(self, deadline=None) -> VerificationResult:
         """The full deadlock check, answered by the winning racer."""
-        return self.race()
+        return self.race(deadline=deadline)
 
     def race(
         self,
         target: Target = None,
         sizes: Mapping[str, int] | None = None,
         want_witness: bool = True,
+        deadline=None,
     ) -> VerificationResult:
         """Race the roster on one query; first final verdict wins.
 
         The merged result carries ``stats["portfolio"]`` — winner,
         rounds, and per-racer cumulative counters — alongside the usual
-        verdict/witness/core fields.
+        verdict/witness/core fields.  An expired ``deadline`` ends the
+        race with a ``TIMEOUT`` result (``winner`` is then ``None`` and
+        no strategy is credited); a crashed or hung racer fleet is torn
+        down and re-raced under :attr:`retry_policy`, degrading to the
+        inline backend once the attempts are exhausted.
         """
+        deadline = Deadline.coerce(deadline)
         full = (
             resolve_resize(self._sizes, dict(sizes), True)
             if (sizes is not None and self._parametric)
@@ -580,16 +638,12 @@ class PortfolioSession:
             if full is not None
             else self._sizes_key()
         )
-        if self.backend == "process":
-            winner, payload, rounds, summaries = self._race_process(
-                target, sizes_key, want_witness
-            )
-        else:
-            winner, payload, rounds, summaries = self._race_inline(
-                target, sizes_key, want_witness
-            )
+        winner, payload, rounds, summaries = self._race_with_recovery(
+            target, sizes_key, want_witness, deadline
+        )
         self.races += 1
-        self.strategy_wins[winner] += 1
+        if winner is not None:
+            self.strategy_wins[winner] += 1
         return self._merge(
             payload,
             sizes=full if full is not None else None,
@@ -599,8 +653,46 @@ class PortfolioSession:
                 "backend": self.backend,
                 "share_clauses": self.share_clauses,
                 "racers": summaries,
+                "recoveries": self.recoveries,
+                "degraded": self.degraded,
             },
         )
+
+    def _race_with_recovery(self, target, sizes_key, want_witness, deadline):
+        """Run one race, recovering from racer crashes and hangs.
+
+        A :exc:`WorkerCrashError` (dead child, error reply) or
+        :exc:`WorkerHangError` (no reply within :attr:`reply_timeout`)
+        tears the fleet down and re-races from the same base snapshot —
+        verdict identity is unaffected because *any* race over the
+        snapshot yields the canonical verdict.  After
+        ``retry_policy.max_attempts`` failed fleets the session is
+        quarantined: it degrades to the deterministic inline backend
+        (same snapshot, no children) for this and every later race.
+        """
+        if deadline is not None and deadline.expired():
+            # Budget already gone: answer TIMEOUT without starting (or
+            # touching) any racer fleet.
+            summaries = [
+                {"strategy": strategy.name} for strategy in self.strategies
+            ]
+            return None, self._timeout_payload(), 0, summaries
+        if self.backend != "process":
+            return self._race_inline(target, sizes_key, want_witness, deadline)
+        policy = self.retry_policy
+        for attempt in range(policy.max_attempts):
+            try:
+                return self._race_process(
+                    target, sizes_key, want_witness, deadline
+                )
+            except (WorkerCrashError, WorkerHangError):
+                self._teardown_procs(graceful=False)
+                self.recoveries += 1
+                if attempt + 1 < policy.max_attempts:
+                    policy.sleep(attempt)
+        self.backend = "inline"
+        self.degraded = True
+        return self._race_inline(target, sizes_key, want_witness, deadline)
 
     def _round_limit(self, round_index: int) -> int:
         limit = self.slice_conflicts * (self.slice_growth ** round_index)
@@ -615,11 +707,18 @@ class PortfolioSession:
             ]
         return self._inline_racers
 
-    def _race_inline(self, target, sizes_key, want_witness):
+    @staticmethod
+    def _timeout_payload() -> tuple:
+        return ("unknown", None, None, {"timed_out": True}, 0.0)
+
+    def _race_inline(self, target, sizes_key, want_witness, deadline=None):
         """Deterministic round-robin: one slice per racer per round.
 
         Losing racers simply receive no further slices once a verdict
-        lands, so "cancellation" is immediate by construction.
+        lands, so "cancellation" is immediate by construction.  The
+        deadline's conflict budget is shared across the whole roster
+        (every slice's conflicts are charged against it) and its wall
+        clock additionally cancels mid-slice via ``should_stop``.
         """
         racers = self._ensure_inline_racers()
         pending: list[list] = [[] for _ in racers]
@@ -629,12 +728,26 @@ class PortfolioSession:
             limit = self._round_limit(rounds)
             rounds += 1
             for index, racer in enumerate(racers):
+                if deadline is not None and deadline.expired():
+                    summaries = [peer.summary() for peer in racers]
+                    return None, self._timeout_payload(), rounds, summaries
+                slice_limit = limit
+                if deadline is not None:
+                    remaining = deadline.remaining_conflicts()
+                    if remaining is not None:
+                        slice_limit = max(1, min(limit, remaining))
                 if pending[index]:
                     racer.import_clauses(pending[index])
                     pending[index] = []
                 final, payload = racer.slice(
-                    target, sizes_key, want_witness, limit
+                    target,
+                    sizes_key,
+                    want_witness,
+                    slice_limit,
+                    should_stop=deadline.should_stop if deadline else None,
                 )
+                if deadline is not None and isinstance(payload[3], dict):
+                    deadline.charge(payload[3].get("conflicts", 0))
                 if final:
                     summaries = [peer.summary() for peer in racers]
                     return (
@@ -684,11 +797,22 @@ class PortfolioSession:
                 self._events.append(event)
                 self._procs.append(proc)
 
-    def _collect_reply(self):
-        """One outbox reply, with a liveness check instead of a hang."""
+    def _collect_reply(self, outstanding, deadline=None):
+        """One outbox reply — or a typed fault instead of a hang.
+
+        Short-polls the outbox so a dead child is noticed within a poll
+        interval (:exc:`WorkerCrashError`) and a silent one within
+        :attr:`reply_timeout` (:exc:`WorkerHangError`); both feed the
+        recovery path in :meth:`_race_with_recovery`.  An expiring
+        deadline flips the outstanding racers' cancel events so their
+        replies arrive within one propagate cycle.
+        """
+        poll = min(0.25, self.reply_timeout)
+        waited = 0.0
+        cancelled = False
         while True:
             try:
-                return self._outbox.get(timeout=10)
+                return self._outbox.get(timeout=poll)
             except Empty:
                 dead = [
                     strategy.name
@@ -696,18 +820,31 @@ class PortfolioSession:
                     if not proc.is_alive()
                 ]
                 if dead:
-                    raise RuntimeError(
+                    raise WorkerCrashError(
                         f"portfolio racer(s) died mid-race: {dead}"
                     ) from None
+                if not cancelled and deadline is not None and deadline.expired():
+                    for peer_index, event in enumerate(self._events):
+                        if peer_index in outstanding:
+                            event.set()
+                    cancelled = True
+                waited += poll
+                if waited >= self.reply_timeout:
+                    raise WorkerHangError(
+                        "no portfolio racer replied within "
+                        f"{self.reply_timeout}s (outstanding: "
+                        f"{sorted(outstanding)})"
+                    ) from None
 
-    def _race_process(self, target, sizes_key, want_witness):
+    def _race_process(self, target, sizes_key, want_witness, deadline=None):
         """Parent-driven pipelined slicing over child slice servers.
 
         Each racer has at most one outstanding slice.  On the first final
         verdict the parent stops issuing slices and flips the losers'
         cancel events (mid-slice abort via ``should_stop``), then drains
         the outstanding replies so every child is idle — and every event
-        cleared — before the next race.
+        cleared — before the next race.  An expired deadline is handled
+        the same way, with a ``TIMEOUT`` payload instead of a winner.
         """
         self._ensure_procs()
         pending: list[list] = [[] for _ in self.strategies]
@@ -716,11 +853,16 @@ class PortfolioSession:
         round_of: dict[int, int] = {}
         summaries: dict[int, dict] = {}
         winner = None
+        expired = False
         rounds = 0
 
         def issue(index: int) -> None:
             self._seqs[index] += 1
             limit = self._round_limit(round_of.get(index, 0))
+            if deadline is not None:
+                remaining = deadline.remaining_conflicts()
+                if remaining is not None:
+                    limit = max(1, min(limit, remaining))
             self._inboxes[index].put(
                 (
                     "slice",
@@ -739,10 +881,10 @@ class PortfolioSession:
             issue(index)
         while outstanding:
             index, seq, status, payload, exports, summary = (
-                self._collect_reply()
+                self._collect_reply(outstanding, deadline)
             )
             if status == "error":
-                raise RuntimeError(
+                raise WorkerCrashError(
                     f"portfolio racer "
                     f"{self.strategies[index].name!r} failed: {payload}"
                 )
@@ -752,13 +894,27 @@ class PortfolioSession:
             summaries[index] = summary
             round_of[index] = round_of.get(index, 0) + 1
             rounds = max(rounds, round_of[index])
+            if deadline is not None and summary:
+                # Children report cumulative conflicts (they stay warm
+                # across races); charge the delta since the last reply.
+                total = summary.get("conflicts", 0)
+                deadline.charge(total - self._cum_conflicts.get(index, 0))
+                self._cum_conflicts[index] = total
             if winner is None and status == "final":
                 winner = (index, payload)
                 for peer_index, event in enumerate(self._events):
                     if peer_index in outstanding:
                         event.set()
                 continue
-            if winner is None:
+            if winner is None and not expired and deadline is not None:
+                if deadline.expired():
+                    # Budget gone: stop re-slicing, cancel the racers
+                    # still out, and drain their final partial replies.
+                    expired = True
+                    for peer_index, event in enumerate(self._events):
+                        if peer_index in outstanding:
+                            event.set()
+            if winner is None and not expired:
                 if self.share_clauses:
                     for clause in exports:
                         key = frozenset(clause[1])
@@ -771,12 +927,14 @@ class PortfolioSession:
                 issue(index)
         for event in self._events:
             event.clear()
-        assert winner is not None
-        index, payload = winner
         ordered = [
             summaries.get(i, {"strategy": strategy.name})
             for i, strategy in enumerate(self.strategies)
         ]
+        if winner is None:
+            assert expired, "race drained with neither winner nor deadline"
+            return None, self._timeout_payload(), rounds, ordered
+        index, payload = winner
         return self.strategies[index].name, payload, rounds, ordered
 
     # ------------------------------------------------------------------
@@ -808,6 +966,14 @@ class PortfolioSession:
             )
         if len(payload) > 5 and payload[5] is not None:
             stats["invariant_selection"] = payload[5]
+        if kind == "unknown":
+            # The race's run budget expired before any racer finished.
+            stats["timed_out"] = True
+            return VerificationResult(
+                Verdict.TIMEOUT,
+                invariants=[],
+                stats=stats,
+            )
         if kind == "unsat":
             core = [
                 self._label_by_guard_name.get(name, name) for name in a
@@ -847,4 +1013,6 @@ class PortfolioSession:
             "share_clauses": self.share_clauses,
             "races": self.races,
             "strategy_wins": dict(self.strategy_wins),
+            "recoveries": self.recoveries,
+            "degraded": self.degraded,
         }

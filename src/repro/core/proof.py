@@ -34,6 +34,7 @@ def verify(
     use_invariants: bool = True,
     rotating_precision: bool = True,
     max_splits: int = 100_000,
+    deadline=None,
 ) -> VerificationResult:
     """Run the full ADVOCAT pipeline on ``network``.
 
@@ -50,6 +51,9 @@ def verify(
         :mod:`repro.core.deadlock`).
     max_splits:
         Branch-and-bound budget forwarded to the SMT solver.
+    deadline:
+        Optional :class:`~repro.core.resilience.Deadline` (or bare
+        seconds); an expired budget yields a ``TIMEOUT`` verdict.
     """
     session = VerificationSession(
         network,
@@ -59,7 +63,7 @@ def verify(
     )
     if use_invariants:
         session.add_invariants()
-    return session.verify()
+    return session.verify(deadline=deadline)
 
 
 def enumerate_witnesses(

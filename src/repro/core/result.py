@@ -122,6 +122,9 @@ class DeadlockWitness:
 class Verdict(enum.Enum):
     DEADLOCK_FREE = "deadlock-free"
     DEADLOCK_CANDIDATE = "deadlock-candidate"
+    # The run budget (wall clock or conflicts) expired before the solver
+    # decided; learning up to the cutoff is retained in the session.
+    TIMEOUT = "timeout"
 
 
 @dataclass
@@ -141,6 +144,10 @@ class VerificationResult:
     @property
     def deadlock_free(self) -> bool:
         return self.verdict is Verdict.DEADLOCK_FREE
+
+    @property
+    def timed_out(self) -> bool:
+        return self.verdict is Verdict.TIMEOUT
 
     def pretty(self) -> str:
         lines = [f"verdict: {self.verdict.value}"]

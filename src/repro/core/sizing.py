@@ -75,6 +75,7 @@ from typing import Callable, Iterable, Sequence
 from ..xmas import Network
 from .engine import VerificationSession, escalate_partial
 from .proof import verify
+from .resilience import Deadline
 from .result import VerificationResult
 
 __all__ = [
@@ -85,6 +86,10 @@ __all__ = [
 ]
 
 INVARIANT_MODES = ("eager", "lazy", "partial", "none")
+
+
+class _DeadlineExpired(Exception):
+    """Internal control flow: a probe answered TIMEOUT; abort the walk."""
 
 
 def resolve_invariants_mode(
@@ -143,6 +148,11 @@ class SizingResult:
     # the races behind those wins, so win *rates* survive aggregation.
     strategy_wins: dict[str, int] = field(default_factory=dict)
     portfolio_races: int = 0
+    # True when a run budget expired before the search/sweep completed:
+    # ``probes`` then holds only the sizes decided in budget (TIMEOUT
+    # probes appear in ``results`` but never in ``probes``), and a
+    # search's ``minimal_size`` is ``None`` (unconfirmed).
+    timed_out: bool = False
 
     def pretty(self) -> str:
         probed = ", ".join(
@@ -174,6 +184,7 @@ class SizingResult:
         histogram: dict[int, int] = {}
         wins: dict[str, int] = {}
         races = 0
+        timed_out = False
         for part in parts:
             for size, free in part.probes.items():
                 if size in probes and probes[size] != free:
@@ -194,6 +205,7 @@ class SizingResult:
             for name, count in part.strategy_wins.items():
                 wins[name] = wins.get(name, 0) + count
             races += part.portfolio_races
+            timed_out = timed_out or part.timed_out
         free_sizes = [size for size, free in probes.items() if free]
         return cls(
             minimal_size=min(free_sizes) if free_sizes else None,
@@ -208,6 +220,7 @@ class SizingResult:
             rank_histogram=histogram,
             strategy_wins=wins,
             portfolio_races=races,
+            timed_out=timed_out,
         )
 
 
@@ -242,6 +255,7 @@ def minimal_queue_size(
     portfolio: bool = False,
     portfolio_jobs: int | None = None,
     portfolio_lead: str | None = None,
+    deadline=None,
     **verify_kwargs,
 ) -> SizingResult:
     """Smallest uniform queue size for which ``build(size)`` verifies.
@@ -280,6 +294,13 @@ def minimal_queue_size(
         and ``portfolio_lead`` names the strategy to race first (the
         experiment scheduler passes its learned per-family leader).
         The result's ``strategy_wins`` records who won each probe.
+    deadline:
+        Optional :class:`~repro.core.resilience.Deadline` (or bare
+        seconds / a wire tuple) bounding the *whole search*.  On expiry
+        the walk stops and the partial result comes back with
+        ``timed_out=True`` and ``minimal_size=None`` — the sizes decided
+        in budget stay in ``probes``, and the TIMEOUT probe itself is
+        recorded in ``results`` only.
     verify_kwargs:
         Forwarded to :func:`repro.core.proof.verify` (``use_invariants``,
         ``rotating_precision``, ``max_splits``).
@@ -287,6 +308,7 @@ def minimal_queue_size(
     mode = resolve_invariants_mode(
         invariants, verify_kwargs.pop("use_invariants", True)
     )
+    deadline = Deadline.coerce(deadline)
     probes: dict[int, bool] = {}
     results: dict[int, VerificationResult] = {}
     timer = _SplitTimer()
@@ -298,6 +320,13 @@ def minimal_queue_size(
         "selector": None,
         "ranked": None,
     }
+
+    def guard_timeout(size: int, result):
+        """Record a TIMEOUT probe and abort the walk (partial result)."""
+        if result.timed_out:
+            results[size] = result
+            raise _DeadlineExpired
+        return result
 
     def settle_partial(session: VerificationSession, result):
         """Partial-mode refinement of one surviving candidate."""
@@ -317,7 +346,7 @@ def minimal_queue_size(
                 state["selector"],
                 state["ranked"],
                 result,
-                session.verify,
+                lambda: session.verify(deadline=deadline),
             ),
         )
         state["escalations"] = state["selector"].escalations
@@ -361,7 +390,11 @@ def minimal_queue_size(
                 portfolio_session.resize_queues(
                     {q.name: q.size for q in built.queues()}
                 )
-                result = timer.timed("query", portfolio_session.verify)
+                result = timer.timed(
+                    "query",
+                    lambda: portfolio_session.verify(deadline=deadline),
+                )
+                guard_timeout(size, result)
                 probes[size] = result.deadlock_free
                 results[size] = result
             return probes[size]
@@ -398,13 +431,21 @@ def minimal_queue_size(
                     )
                 session.resize_queues({q.name: q.size for q in built.queues()})
                 session.seed_phases_from_witness()
-                result = timer.timed("query", session.verify)
+                result = timer.timed(
+                    "query", lambda: session.verify(deadline=deadline)
+                )
+                # TIMEOUT is checked *before* any escalation: an expired
+                # probe is neither free nor deadlocked, so strengthening
+                # on it would both waste budget and corrupt accounting.
+                guard_timeout(size, result)
                 if not result.deadlock_free:
                     if mode == "partial":
                         # CEGAR-style partial strengthening: conjoin only
                         # ranked rows the candidate's model violates,
                         # escalating until the verdict settles.
-                        result = settle_partial(session, result)
+                        result = guard_timeout(
+                            size, settle_partial(session, result)
+                        )
                     elif mode == "lazy" and not state["added"]:
                         # Lazy strengthening: the candidate survived plain
                         # block/idle, so generate + conjoin the invariants
@@ -413,7 +454,10 @@ def minimal_queue_size(
                         state["added"] = True
                         state["escalations"] += 1
                         state["generated"] = len(session.invariants)
-                        result = timer.timed("query", session.verify)
+                        result = timer.timed(
+                            "query", lambda: session.verify(deadline=deadline)
+                        )
+                        guard_timeout(size, result)
                 probes[size] = result.deadlock_free
                 results[size] = result
             return probes[size]
@@ -437,9 +481,14 @@ def minimal_queue_size(
                     generated_before = state["generated"]
                     escalations_before = state["escalations"]
                     histogram_before = dict(state["histogram"])
-                    result = timer.timed("query", session.verify)
+                    result = timer.timed(
+                        "query", lambda: session.verify(deadline=deadline)
+                    )
+                    guard_timeout(size, result)
                     if not result.deadlock_free:
-                        result = settle_partial(session, result)
+                        result = guard_timeout(
+                            size, settle_partial(session, result)
+                        )
                         state["generated"] += generated_before
                         state["escalations"] += escalations_before
                         for tier, count in histogram_before.items():
@@ -452,9 +501,11 @@ def minimal_queue_size(
                         lambda: verify(
                             network,
                             use_invariants=state["added"],
+                            deadline=deadline,
                             **verify_kwargs,
                         ),
                     )
+                    guard_timeout(size, result)
                     if (
                         mode == "lazy"
                         and not result.deadlock_free
@@ -465,40 +516,54 @@ def minimal_queue_size(
                         result = timer.timed(
                             "query",
                             lambda: verify(
-                                network, use_invariants=True, **verify_kwargs
+                                network,
+                                use_invariants=True,
+                                deadline=deadline,
+                                **verify_kwargs,
                             ),
                         )
+                        guard_timeout(size, result)
                         state["generated"] = len(result.invariants)
                 probes[size] = result.deadlock_free
                 results[size] = result
             return probes[size]
 
-    # Exponential climb to the first deadlock-free size.
-    size = low
-    while not probe(size):
-        size *= 2
-        if size > max_size:
-            raise RuntimeError(
-                f"no deadlock-free size found up to {max_size}; "
-                "the deadlock may be size-independent"
-            )
-    # Binary search in (last deadlocked, first free].
-    high = size
-    low_bound = max(low, size // 2)
-    while low_bound < high:
-        middle = (low_bound + high) // 2
-        if probe(middle):
-            high = middle
-        else:
-            low_bound = middle + 1
-    minimal = high
-    if exhaustive:
-        for candidate in range(low, minimal):
-            if probe(candidate):
-                raise AssertionError(
-                    f"monotonicity violated: size {candidate} verifies but "
-                    f"binary search reported {minimal}"
+    timed_out = False
+    minimal: int | None = None
+    try:
+        # Exponential climb to the first deadlock-free size.
+        size = low
+        while not probe(size):
+            size *= 2
+            if size > max_size:
+                raise RuntimeError(
+                    f"no deadlock-free size found up to {max_size}; "
+                    "the deadlock may be size-independent"
                 )
+        # Binary search in (last deadlocked, first free].
+        high = size
+        low_bound = max(low, size // 2)
+        while low_bound < high:
+            middle = (low_bound + high) // 2
+            if probe(middle):
+                high = middle
+            else:
+                low_bound = middle + 1
+        minimal = high
+        if exhaustive:
+            for candidate in range(low, minimal):
+                if probe(candidate):
+                    raise AssertionError(
+                        f"monotonicity violated: size {candidate} verifies "
+                        f"but binary search reported {minimal}"
+                    )
+    except _DeadlineExpired:
+        # The budget ran out mid-walk: return what was decided in budget
+        # as a partial result instead of an answer we cannot stand behind
+        # (an unconfirmed minimum from a truncated search would be worse
+        # than none).
+        timed_out = True
+        minimal = None
     if mode == "eager" and not incremental and results:
         # Each from-scratch probe regenerated the full set; report its size.
         state["generated"] = max(
@@ -529,6 +594,7 @@ def minimal_queue_size(
         rank_histogram=dict(state["histogram"]),
         strategy_wins=wins,
         portfolio_races=races,
+        timed_out=timed_out,
     )
 
 
@@ -559,6 +625,7 @@ def _pool_sweep(
     timer: _SplitTimer,
     verify_kwargs: dict,
     escalation: tuple[int | None, int | None] | None = None,
+    deadline=None,
 ) -> SizingResult:
     """One sharded pass over ``size_list`` (striped shards, warm-start
     ascending order within each shard).  With ``escalation`` the workers
@@ -588,6 +655,7 @@ def _pool_sweep(
                 [[assignments[size] for size in shard] for shard in shard_sizes],
                 want_witness=want_witness,
                 escalation=escalation,
+                deadline=deadline,
             ),
         )
         generated_full = len(session.invariants) if add_invariants else 0
@@ -595,6 +663,13 @@ def _pool_sweep(
     for shard, results_list in zip(shard_sizes, shard_results):
         part = SizingResult(minimal_size=None)
         for size, result in zip(shard, results_list):
+            if result.timed_out:
+                # The shard's budget expired at this probe: keep the
+                # TIMEOUT result but no boolean verdict (the size stays
+                # undecided) and mark the part partial.
+                part.results[size] = result
+                part.timed_out = True
+                continue
             part.probes[size] = result.deadlock_free
             part.results[size] = result
             selection = result.stats.get("invariant_selection")
@@ -629,6 +704,7 @@ def sweep_queue_sizes(
     rank_growth: int | None = None,
     portfolio: bool = False,
     portfolio_lead: str | None = None,
+    deadline=None,
     **verify_kwargs,
 ) -> SizingResult:
     """Verdict per queue size over an explicit size list, sharded.
@@ -664,8 +740,13 @@ def sweep_queue_sizes(
     ``build`` must vary only queue capacities (checked), as for the
     incremental ``minimal_queue_size``.  ``verify_kwargs`` forwards
     ``rotating_precision`` / ``max_splits``.
+
+    ``deadline`` bounds the whole sweep; on expiry the undecided sizes
+    are simply absent from ``probes`` (their TIMEOUT results stay in
+    ``results``) and the merged result carries ``timed_out=True``.
     """
     mode = resolve_invariants_mode(invariants, use_invariants)
+    deadline = Deadline.coerce(deadline)
     size_list = sorted(set(sizes))
     if not size_list:
         raise ValueError("sweep_queue_sizes() needs at least one size")
@@ -703,9 +784,15 @@ def sweep_queue_sizes(
         with psession:
             for size in size_list:
                 psession.resize_queues(assignments[size])
-                result = timer.timed("query", psession.verify)
+                result = timer.timed(
+                    "query", lambda: psession.verify(deadline=deadline)
+                )
                 if not want_witness:
                     result.witness = None
+                if result.timed_out:
+                    part.results[size] = result
+                    part.timed_out = True
+                    break
                 part.probes[size] = result.deadlock_free
                 part.results[size] = result
             part.strategy_wins = dict(psession.strategy_wins)
@@ -737,7 +824,13 @@ def sweep_queue_sizes(
             # Ascending walk: start each probe's search at the previous
             # witness (the shard workers do the same via phase_hints).
             session.seed_phases_from_witness()
-            result = timer.timed("query", session.verify)
+            result = timer.timed(
+                "query", lambda: session.verify(deadline=deadline)
+            )
+            if result.timed_out:
+                part.results[size] = result
+                part.timed_out = True
+                break
             if not result.deadlock_free:
                 if mode == "partial":
                     if selector is None:
@@ -754,7 +847,11 @@ def sweep_queue_sizes(
                     result = timer.timed(
                         "query",
                         lambda: escalate_partial(
-                            session, selector, ranked, result, session.verify
+                            session,
+                            selector,
+                            ranked,
+                            result,
+                            lambda: session.verify(deadline=deadline),
                         ),
                     )
                 elif mode == "lazy" and not added:
@@ -762,7 +859,13 @@ def sweep_queue_sizes(
                     added = True
                     escalations += 1
                     generated = len(session.invariants)
-                    result = timer.timed("query", session.verify)
+                    result = timer.timed(
+                        "query", lambda: session.verify(deadline=deadline)
+                    )
+            if result.timed_out:
+                part.results[size] = result
+                part.timed_out = True
+                break
             if not want_witness:
                 # Match the parallel path's payload shape: the session
                 # always extracts on SAT, so drop it afterwards.
@@ -789,6 +892,7 @@ def sweep_queue_sizes(
             timer,
             verify_kwargs,
             escalation=(rank_budget, rank_growth),
+            deadline=deadline,
         )
     elif mode != "lazy":
         merged = _pool_sweep(
@@ -801,6 +905,7 @@ def sweep_queue_sizes(
             mode == "eager",
             timer,
             verify_kwargs,
+            deadline=deadline,
         )
     else:
         # Batched strengthening across the pool: one unstrengthened pass
@@ -816,8 +921,11 @@ def sweep_queue_sizes(
             False,
             timer,
             verify_kwargs,
+            deadline=deadline,
         )
-        surviving = [size for size in size_list if not first.probes[size]]
+        # A timed-out size is absent from ``probes``; it is not a
+        # survivor — its TIMEOUT result stands as recorded.
+        surviving = [size for size in size_list if not first.probes.get(size, True)]
         if not surviving:
             merged = first
         else:
@@ -836,6 +944,7 @@ def sweep_queue_sizes(
                 True,
                 timer,
                 verify_kwargs,
+                deadline=deadline,
             )
             merged = SizingResult.merge([first, second])
             merged.invariants_used = True
