@@ -30,7 +30,6 @@ standalone (``python benchmarks/bench_experiments.py [--jobs 4] [--smoke]``).
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import tempfile
@@ -42,6 +41,7 @@ from conftest import report
 from repro.core import (
     Experiment,
     ScenarioSpec,
+    sha_bytes,
     shutdown_scenario_executors,
 )
 from repro.fabrics import octant_positions
@@ -95,7 +95,7 @@ def bench_grid_sharding(jobs: int, smoke: bool) -> tuple[dict, "ExperimentResult
         "sharded_s": round(par_s, 3),
         "speedup": round(seq_s / par_s, 2),
         "verdicts_byte_identical": True,
-        "verdict_sha": hashlib.sha256(seq_bytes).hexdigest()[:16],
+        "verdict_sha": sha_bytes(seq_bytes),
     }, sharded
 
 

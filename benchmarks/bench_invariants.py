@@ -22,7 +22,6 @@ run adds 4×4 and the 6×6 free-size probe).
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import time
@@ -30,7 +29,13 @@ from pathlib import Path
 
 from conftest import report
 
-from repro.core import VarPool, derive_colors, generate_invariants, sweep_queue_sizes
+from repro.core import (
+    VarPool,
+    derive_colors,
+    generate_invariants,
+    sweep_queue_sizes,
+    verdict_sha,
+)
 from repro.linalg import SparseVector, row_space_contains
 from repro.protocols import Message, abstract_mi_mesh, mi_mesh
 
@@ -153,8 +158,7 @@ def _mesh_cases(smoke: bool) -> list[dict]:
 
 
 def _verdict_sha(probes: dict[int, bool]) -> str:
-    canonical = json.dumps(sorted(probes.items()), separators=(",", ":"))
-    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    return verdict_sha(sorted(probes.items()))
 
 
 def _run_mode(build, sizes, mode: str, rank_budget: int | None) -> dict:

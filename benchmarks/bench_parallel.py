@@ -38,6 +38,7 @@ from repro.core import (
     ParallelVerificationSession,
     SessionSpec,
     VerificationSession,
+    sha_bytes,
     sweep_queue_sizes,
 )
 from repro.protocols import abstract_mi_mesh
@@ -84,7 +85,7 @@ def bench_fanout(jobs: int, backend: str) -> dict:
         "parallel_s": round(par_s, 3),
         "speedup": round(seq_s / par_s, 2),
         "verdicts_byte_identical": True,
-        "verdict_sha": __import__("hashlib").sha256(seq_bytes).hexdigest()[:16],
+        "verdict_sha": sha_bytes(seq_bytes),
     }
 
 

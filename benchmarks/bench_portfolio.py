@@ -24,7 +24,6 @@ run adds 4×4 and the 6×6 free-size probe).
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import time
@@ -32,7 +31,7 @@ from pathlib import Path
 
 from conftest import report
 
-from repro.core import PortfolioSession, sweep_queue_sizes
+from repro.core import PortfolioSession, sweep_queue_sizes, verdict_sha
 from repro.protocols import abstract_mi_mesh
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_portfolio.json"
@@ -58,8 +57,7 @@ def _mesh_cases(smoke: bool) -> list[dict]:
 
 
 def _verdict_sha(probes: dict[int, bool]) -> str:
-    canonical = json.dumps(sorted(probes.items()), separators=(",", ":"))
-    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    return verdict_sha(sorted(probes.items()))
 
 
 def _run_single(build, sizes, mode: str) -> dict:

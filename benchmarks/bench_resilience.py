@@ -30,7 +30,6 @@ Run standalone:  ``python benchmarks/bench_resilience.py [--smoke]``
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import tempfile
@@ -47,6 +46,7 @@ from repro.core import (
     SessionSpec,
     VerificationSession,
     install_fault_plan,
+    verdict_sha,
 )
 from repro.protocols import abstract_mi_mesh
 
@@ -66,10 +66,7 @@ def _spec(width: int, height: int, queue_size: int = 3) -> SessionSpec:
 
 
 def _verdict_sha(results) -> str:
-    canonical = json.dumps(
-        [r.verdict.value for r in results], separators=(",", ":")
-    )
-    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    return verdict_sha([r.verdict.value for r in results])
 
 
 def _fanout_wall(spec: SessionSpec, deadline: Deadline | None) -> float:

@@ -23,7 +23,6 @@ gates on the verdict SHAs via ``check_bench.py``.
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import random
 import time
@@ -31,17 +30,12 @@ from pathlib import Path
 
 from conftest import report
 
-from repro.core import VerificationSession
+from repro.core import VerificationSession, verdict_sha
 from repro.protocols import abstract_mi_mesh
 from repro.smt import _sat_reference, sat
 from repro.smt import solver as solver_mod
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_satcore.json"
-
-
-def _sha(verdicts) -> str:
-    payload = json.dumps(list(verdicts), separators=(",", ":")).encode()
-    return hashlib.sha256(payload).hexdigest()[:16]
 
 
 # ----------------------------------------------------------------------
@@ -112,9 +106,7 @@ def bench_propagation(smoke: bool) -> dict:
         "speedup": round(old_s / new_s, 2) if new_s else 0.0,
         "profile_first_instance": profile,
         "verdicts_cnf_equal": True,
-        "verdict_sha": _sha(
-            [str(v) for v in new_verdicts]
-        ),
+        "verdict_sha": verdict_sha([str(v) for v in new_verdicts]),
     }
 
 
@@ -156,7 +148,7 @@ def bench_fanout(smoke: bool) -> dict:
         "reference_s": round(reference_s, 3),
         "speedup": round(reference_s / arena_s, 2) if arena_s else 0.0,
         "verdicts_fanout_equal": True,
-        "verdict_sha": _sha(arena_verdicts),
+        "verdict_sha": verdict_sha(list(arena_verdicts)),
     }
 
 

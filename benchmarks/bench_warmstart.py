@@ -29,14 +29,13 @@ the ``--smoke`` variant (tiny mesh, short sweep, no wall-clock gates).
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import time
 from pathlib import Path
 
 from conftest import report
 
-from repro.core import SessionSpec, VerificationSession
+from repro.core import SessionSpec, VerificationSession, verdict_sha
 from repro.core.parallel import WorkerSession
 from repro.protocols import abstract_mi_mesh
 
@@ -53,11 +52,6 @@ SWEEP_REDUCTION_OPTS = {
     "reduce_growth": 1.25,
     "glue_cap": 150,
 }
-
-
-def _sha(verdicts) -> str:
-    payload = json.dumps(list(verdicts), separators=(",", ":")).encode()
-    return hashlib.sha256(payload).hexdigest()[:16]
 
 
 def bench_warm_worker(mesh: int) -> dict:
@@ -92,14 +86,14 @@ def bench_warm_worker(mesh: int) -> dict:
             "first_query_s": round(first_s, 4),
             "remaining_queries_s": round(rest_s, 3),
             "first_query_conflicts": first[3]["conflicts"],
-            "verdict_sha": _sha([first[0]] + [p[0] for p in rest]),
+            "verdict_sha": verdict_sha([first[0]] + [p[0] for p in rest]),
         }
 
     # Reduction on/off must answer the same fan-out byte-identically.
     shas = {}
     for reduction in (True, False):
         session = VerificationSession(spec=spec, clause_reduction=reduction)
-        shas[reduction] = _sha(
+        shas[reduction] = verdict_sha(
             [r.verdict.value for r in session.verify_all_cases()]
         )
     # Worker payloads say "sat"/"unsat"; sessions say verdict labels —
@@ -166,7 +160,7 @@ def bench_bounded_session(n_sizes: int) -> dict:
     assert bounded["verdicts"] == unbounded["verdicts"], (
         "bounded vs unbounded sweep verdicts diverged"
     )
-    sha = _sha(bounded.pop("verdicts"))
+    sha = verdict_sha(list(bounded.pop("verdicts")))
     unbounded.pop("verdicts")
     return {
         "workload": f"monotone sweep, sizes 1..{n_sizes}, 2x2 mesh + invariants",

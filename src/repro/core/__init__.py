@@ -24,8 +24,26 @@ Public entry points:
   conflict budgets that surface as ``TIMEOUT`` verdicts, worker-crash
   recovery with deterministic backoff, and the fault-injection harness
   behind the chaos test suite.
+* :class:`VerificationService` / :class:`ServiceClient` — the
+  verification-as-a-service layer (:mod:`repro.core.service`): a
+  long-lived asyncio TCP server answering spec-described queries
+  through three content-addressed cache tiers
+  (:mod:`repro.core.cache` — hot live sessions under LRU, warm pickled
+  snapshots, cold verdict store).
 """
 
+from .cache import (
+    LruSessionCache,
+    SnapshotStore,
+    VerdictStore,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    canonical_json,
+    sha_bytes,
+    stable_hash,
+    verdict_sha,
+)
 from .colors import ColorDerivationError, ColorMap, derive_colors
 from .deadlock import DeadlockCase, DeadlockEncoding, encode_deadlock
 from .engine import (
@@ -83,6 +101,13 @@ from .resilience import (
     install_fault_plan,
 )
 from .result import DeadlockWitness, Invariant, Verdict, VerificationResult
+from .service import (
+    AsyncServiceClient,
+    ServiceClient,
+    ServiceError,
+    ServiceSession,
+    VerificationService,
+)
 from .sizing import SizingResult, minimal_queue_size, sweep_queue_sizes
 from .vars import VarPool, color_label
 
@@ -145,4 +170,19 @@ __all__ = [
     "WorkerHangError",
     "active_fault_plan",
     "install_fault_plan",
+    "LruSessionCache",
+    "SnapshotStore",
+    "VerdictStore",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "canonical_json",
+    "sha_bytes",
+    "stable_hash",
+    "verdict_sha",
+    "VerificationService",
+    "ServiceSession",
+    "ServiceClient",
+    "ServiceError",
+    "AsyncServiceClient",
 ]

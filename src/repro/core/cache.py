@@ -1,0 +1,355 @@
+"""Content-addressed caching primitives for verification-as-a-service.
+
+The service layer (:mod:`repro.core.service`) answers queries through
+three tiers, cheapest first:
+
+* **cold store** (:class:`VerdictStore`) — a content-addressed verdict
+  archive keyed by ``(encoding_hash, query_key)``.  A hit costs one dict
+  lookup (disk entries are memoised on first read); a million identical
+  mesh queries cost exactly one solve.
+* **hot tier** (:class:`LruSessionCache`) — live sessions under LRU
+  eviction.  Eviction calls the entry's ``close()`` (the
+  :class:`~repro.core.engine.VerificationSession` contract), releasing
+  any worker processes the entry holds.
+* **warm tier** (:class:`SnapshotStore`) — pickled
+  :class:`~repro.core.engine.SessionSnapshot` images on disk keyed by
+  :meth:`~repro.core.engine.SessionSnapshot.content_hash`, plus an index
+  mapping :meth:`~repro.core.experiments.ScenarioSpec.key` identities to
+  encoding hashes so a request can reach its snapshot without building
+  the network.
+
+Everything on-disk is written through :func:`atomic_write_bytes` —
+serialise to a temp file in the *same directory*, then ``os.replace`` —
+so a crash mid-write can corrupt nothing: readers see either the old
+image or the new one, never a torn file.  The same helper backs
+``ExperimentResult.save`` checkpoints.
+
+This module also hosts the canonical hashing helpers that the
+benchmarks previously each re-implemented: :func:`verdict_sha` (16-hex
+SHA-256 over a canonical JSON payload) and :func:`sha_bytes` (the same
+digest over pre-canonicalised bytes).  They are byte-compatible with
+the historic per-bench copies — committed baseline SHAs do not move.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "canonical_json",
+    "stable_hash",
+    "verdict_sha",
+    "sha_bytes",
+    "VerdictStore",
+    "SnapshotStore",
+    "LruSessionCache",
+]
+
+
+# ---------------------------------------------------------------------------
+# Atomic writes
+# ---------------------------------------------------------------------------
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the target's directory so the final rename
+    never crosses a filesystem boundary (``os.replace`` is atomic only
+    within one).  On any failure the temp file is removed and the
+    original file — if there was one — is left untouched.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str | Path, payload: Any, indent: int = 2) -> None:
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Canonical hashing
+# ---------------------------------------------------------------------------
+
+
+def canonical_json(payload: Any) -> str:
+    """The one canonical JSON form: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(payload: Any) -> str:
+    """Full SHA-256 hex digest of ``payload``'s canonical JSON form."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def verdict_sha(payload: Any) -> str:
+    """16-hex SHA-256 over ``payload`` serialised exactly as the benchmark
+    records historically did: ``json.dumps(payload, separators=(",",":"))``
+    with **no** key sorting — callers pre-canonicalise (sorted lists of
+    pairs, verdict-value lists) so committed baseline SHAs stay fixed."""
+    canonical = json.dumps(payload, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def sha_bytes(data: bytes) -> str:
+    """16-hex SHA-256 over pre-canonicalised bytes (e.g. the output of
+    ``ExperimentResult.verdict_bytes()``)."""
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Cold tier: content-addressed verdict store
+# ---------------------------------------------------------------------------
+
+
+class VerdictStore:
+    """Content-addressed verdict archive keyed by ``(encoding_hash, query)``.
+
+    Entries are canonical JSON payloads (verdict value plus whatever
+    non-canonical extras the service chooses to keep — witnesses, cores).
+    Disk layout: ``<root>/verdicts/<encoding_hash>/<sha(query)>.json``;
+    every file carries its query key for debuggability.  All reads are
+    memoised, so steady-state hits never touch the filesystem.  Pass
+    ``root=None`` for a memory-only store.
+    """
+
+    def __init__(self, root: str | Path | None) -> None:
+        self.root = Path(root) / "verdicts" if root is not None else None
+        self._memo: dict[tuple[str, str], dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, encoding_hash: str, query_key: str) -> Path:
+        assert self.root is not None
+        digest = hashlib.sha256(query_key.encode()).hexdigest()[:32]
+        return self.root / encoding_hash / f"{digest}.json"
+
+    def get(self, encoding_hash: str, query_key: str) -> dict | None:
+        memo_key = (encoding_hash, query_key)
+        payload = self._memo.get(memo_key)
+        if payload is None and self.root is not None:
+            path = self._path(encoding_hash, query_key)
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError):
+                entry = None
+            if entry is not None and entry.get("query") == query_key:
+                payload = entry["payload"]
+                self._memo[memo_key] = payload
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, encoding_hash: str, query_key: str, payload: dict) -> None:
+        self._memo[(encoding_hash, query_key)] = payload
+        if self.root is not None:
+            atomic_write_json(
+                self._path(encoding_hash, query_key),
+                {"query": query_key, "payload": payload},
+            )
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+
+# ---------------------------------------------------------------------------
+# Warm tier: pickled session snapshots
+# ---------------------------------------------------------------------------
+
+
+class SnapshotStore:
+    """Pickled session snapshots keyed by encoding content hash.
+
+    Two maps live here: ``<root>/snapshots/<hash>.pkl`` (the snapshot
+    image, with a ``<hash>.meta.json`` sidecar for cheap metadata such
+    as deadlock-case labels and default sizes) and
+    ``<root>/snapshots/index.json`` mapping a spec identity (the SHA of
+    ``ScenarioSpec.key()``) to its encoding hash, so repeat requests
+    skip the network build entirely.  Pass ``root=None`` for a
+    memory-only store (snapshots kept live, nothing pickled).
+    """
+
+    def __init__(self, root: str | Path | None) -> None:
+        self.root = Path(root) / "snapshots" if root is not None else None
+        self._index: dict[str, str] | None = None
+        self._snapshots: dict[str, Any] = {}
+        self._meta: dict[str, dict] = {}
+
+    # -- spec-key index -------------------------------------------------
+    def _index_path(self) -> Path:
+        assert self.root is not None
+        return self.root / "index.json"
+
+    def _load_index(self) -> dict[str, str]:
+        if self._index is None:
+            self._index = {}
+            if self.root is not None:
+                try:
+                    self._index = dict(
+                        json.loads(self._index_path().read_text())
+                    )
+                except (OSError, ValueError):
+                    self._index = {}
+        return self._index
+
+    def lookup(self, spec_key: str) -> str | None:
+        """Encoding hash previously bound to this spec identity, if any."""
+        encoding_hash = self._load_index().get(stable_hash(spec_key))
+        if encoding_hash is not None and not self.has_snapshot(encoding_hash):
+            return None
+        return encoding_hash
+
+    def bind(self, spec_key: str, encoding_hash: str) -> None:
+        index = self._load_index()
+        index[stable_hash(spec_key)] = encoding_hash
+        if self.root is not None:
+            atomic_write_json(self._index_path(), index)
+
+    # -- snapshot payloads ----------------------------------------------
+    def snapshot_path(self, encoding_hash: str) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / f"{encoding_hash}.pkl"
+
+    def has_snapshot(self, encoding_hash: str) -> bool:
+        if encoding_hash in self._snapshots:
+            return True
+        path = self.snapshot_path(encoding_hash)
+        return path is not None and path.exists()
+
+    def store(self, snapshot, meta: dict) -> str:
+        """Persist ``snapshot`` (+ JSON ``meta`` sidecar); returns its
+        content hash.  Idempotent: same content, same files."""
+        encoding_hash = snapshot.content_hash()
+        self._snapshots[encoding_hash] = snapshot
+        self._meta[encoding_hash] = meta
+        path = self.snapshot_path(encoding_hash)
+        if path is not None:
+            atomic_write_bytes(
+                path, pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            atomic_write_json(path.with_suffix(".meta.json"), meta)
+        return encoding_hash
+
+    def load(self, encoding_hash: str):
+        """The snapshot for ``encoding_hash``, or ``None`` if unknown."""
+        snapshot = self._snapshots.get(encoding_hash)
+        if snapshot is None:
+            path = self.snapshot_path(encoding_hash)
+            if path is None:
+                return None
+            try:
+                snapshot = pickle.loads(path.read_bytes())
+            except (OSError, pickle.PickleError, EOFError):
+                return None
+            self._snapshots[encoding_hash] = snapshot
+        return snapshot
+
+    def meta(self, encoding_hash: str) -> dict | None:
+        meta = self._meta.get(encoding_hash)
+        if meta is None:
+            path = self.snapshot_path(encoding_hash)
+            if path is None:
+                return None
+            try:
+                meta = json.loads(path.with_suffix(".meta.json").read_text())
+            except (OSError, ValueError):
+                return None
+            self._meta[encoding_hash] = meta
+        return meta
+
+
+# ---------------------------------------------------------------------------
+# Hot tier: live sessions under LRU eviction
+# ---------------------------------------------------------------------------
+
+
+class LruSessionCache:
+    """Bounded mapping of live session objects, least-recently-used out.
+
+    Eviction (and :meth:`close_all`) calls each evicted entry's
+    ``close()`` — the session contract guaranteeing idempotent release
+    of any held worker processes — so the cache can never leak children
+    no matter how often specs churn through it.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key: str) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: str, entry: Any) -> None:
+        if key in self._entries:
+            previous = self._entries[key]
+            self._entries.move_to_end(key)
+            self._entries[key] = entry
+            if previous is not entry:
+                # Replacing a live session would otherwise orphan its
+                # worker processes — the close() contract applies to
+                # every way an entry can leave the cache.
+                previous.close()
+            return
+        while len(self._entries) >= self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self.evictions += 1
+            evicted.close()
+        self._entries[key] = entry
+
+    def pop(self, key: str) -> None:
+        """Drop (and close) one entry, if present."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            entry.close()
+
+    def close_all(self) -> None:
+        while self._entries:
+            _, entry = self._entries.popitem(last=False)
+            entry.close()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._entries.keys())

@@ -65,6 +65,7 @@ from ..smt import (
 )
 from ..util import Stopwatch
 from ..xmas import Network, Queue, Source
+from .cache import stable_hash
 from .colors import derive_colors
 from .deadlock import DeadlockCase, encode_deadlock
 from .invariants import (
@@ -146,6 +147,58 @@ class SessionSnapshot:
     # them locally in partial mode (see repro.core.invariants).  Empty
     # unless the snapshot was taken for partial-invariant orchestration.
     pending_invariant_rows: tuple = ()
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 identity of the canonical encoding image.
+
+        Two snapshots of the *same* encoding hash identically even when
+        built in different processes: integer-variable uids are
+        process-local counters, so the hash renumbers them by rank in
+        the name-sorted variable table (every variable reachable from a
+        deadlock encoding carries a deterministic name — guards, pool
+        occupancies, ``cap[q]`` capacities).  Scheduling state is
+        excluded — learned clauses, saved phases, the clause-reduction
+        policy and its knobs, the split budget and pending invariant
+        rows steer the *search*, never the encoded formula — so warm or
+        differently tuned variants of one encoding share a cache
+        identity.  A false identity collision would be a wrong cached
+        verdict, which is why the service layer keys its verdict store
+        on this hash.
+        """
+        solver = self.solver
+        order = sorted(
+            range(len(solver.int_vars)),
+            key=lambda i: (solver.int_vars[i][1], i),
+        )
+        rank = {solver.int_vars[i][0]: pos for pos, i in enumerate(order)}
+        payload = {
+            "version": solver.version,
+            "n_vars": solver.n_vars,
+            "clauses": [list(clause) for clause in solver.clauses],
+            "unsatisfiable": solver.unsatisfiable,
+            "bool_vars": sorted([name, var] for name, var in solver.bool_vars),
+            "int_names": [solver.int_vars[i][1] for i in order],
+            "atoms": sorted(
+                [
+                    satvar,
+                    sorted([rank[uid], coeff] for uid, coeff in coeffs),
+                    bound,
+                ]
+                for satvar, coeffs, bound in solver.atoms
+            ),
+            "case_guards": list(self.case_guard_names),
+            "any_guard": self.any_guard_name,
+            "capacities": sorted(
+                [name, rank[uid]] for name, uid in self.capacity_uids
+            ),
+            "witness_ints": [rank[uid] for uid in self.witness_int_uids],
+            "witness_bools": list(self.witness_bool_names),
+            "default_sizes": sorted(
+                [name, size] for name, size in self.default_sizes
+            ),
+            "parametric": self.parametric,
+        }
+        return stable_hash(payload)
 
 
 class SessionSpec:

@@ -56,6 +56,7 @@ from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..xmas import Network
+from .cache import atomic_write_json
 from .invariants import DEFAULT_RANK_BUDGET, DEFAULT_RANK_GROWTH
 from .parallel import (
     default_jobs,
@@ -621,7 +622,10 @@ class ExperimentResult:
         )
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        """Checkpoint atomically (temp file in the same directory, then
+        ``os.replace``): a crash mid-write leaves either the previous
+        checkpoint or the new one, never a torn resume file."""
+        atomic_write_json(path, self.to_json())
 
     @classmethod
     def load(cls, path: str | Path) -> "ExperimentResult":

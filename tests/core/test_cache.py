@@ -1,0 +1,326 @@
+"""Content-addressed caching primitives: hashes, atomic writes, tiers.
+
+The service layer (PR 9) keys everything on two canonical identities —
+``ScenarioSpec.key()`` for *what was asked* and
+``SessionSnapshot.content_hash()`` for *what was encoded* — so the
+hypothesis sections here pin the invariances those keys promise:
+
+* ``ScenarioSpec.key()`` ignores kwarg ordering and the scheduling-only
+  knobs (``query_jobs``, ``portfolio``, ``label``, rank budgets);
+* ``content_hash()`` ignores scheduling hints (``max_splits``, clause
+  reduction knobs) and survives pickle round-trips and rebuilds, while
+  still separating genuinely different encodings.
+
+The rest covers the storage substrate: crash-safe atomic writes (a
+failed replace must leave the original intact and no temp droppings),
+the cold :class:`~repro.core.cache.VerdictStore`, the warm
+:class:`~repro.core.cache.SnapshotStore`, and the hot
+:class:`~repro.core.cache.LruSessionCache` eviction contract.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LruSessionCache,
+    ScenarioSpec,
+    SessionSpec,
+    SnapshotStore,
+    VerdictStore,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    canonical_json,
+    sha_bytes,
+    stable_hash,
+    verdict_sha,
+)
+from repro.netlib import producer_consumer, running_example
+
+
+def _network(queue_size=2):
+    return running_example(queue_size=queue_size).network
+
+
+# ---------------------------------------------------------------------------
+# Hash helpers
+# ---------------------------------------------------------------------------
+
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.text(max_size=8),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.dictionaries(st.text(max_size=6), json_scalars, max_size=5))
+def test_stable_hash_ignores_key_insertion_order(payload):
+    reordered = dict(sorted(payload.items(), reverse=True))
+    assert stable_hash(payload) == stable_hash(reordered)
+    assert canonical_json(payload) == canonical_json(reordered)
+
+
+def test_verdict_sha_matches_historic_bench_helper():
+    # The committed BENCH_* baselines were produced by per-bench
+    # ``hashlib.sha256(json.dumps(payload, separators=(",", ":")) ...``
+    # helpers; the shared function must stay byte-compatible with them
+    # (note: no sort_keys — list payloads carry their own order).
+    payload = [["a", 1], ["b", 0], "unsat", "sat"]
+    expected = hashlib.sha256(
+        json.dumps(payload, separators=(",", ":")).encode()
+    ).hexdigest()[:16]
+    assert verdict_sha(payload) == expected
+    assert len(verdict_sha(payload)) == 16
+
+
+def test_sha_bytes_is_full_sha256():
+    data = b"verdict-bytes"
+    assert sha_bytes(data) == hashlib.sha256(data).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Atomic writes
+# ---------------------------------------------------------------------------
+
+
+def test_atomic_write_creates_parents_and_round_trips(tmp_path):
+    target = tmp_path / "deep" / "nested" / "out.json"
+    atomic_write_json(target, {"b": 2, "a": 1})
+    assert json.loads(target.read_text()) == {"a": 1, "b": 2}
+    atomic_write_text(target, "plain")
+    assert target.read_text() == "plain"
+    atomic_write_bytes(target, b"\x00raw")
+    assert target.read_bytes() == b"\x00raw"
+
+
+def test_atomic_write_failure_preserves_original(tmp_path, monkeypatch):
+    target = tmp_path / "out.txt"
+    target.write_text("original")
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated replace failure")
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    with pytest.raises(OSError):
+        atomic_write_text(target, "clobber")
+    monkeypatch.undo()
+    # Original untouched, and the temp file was cleaned up.
+    assert target.read_text() == "original"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+# ---------------------------------------------------------------------------
+# ScenarioSpec.key(): canonical request identity
+# ---------------------------------------------------------------------------
+
+
+kwarg_dicts = st.dictionaries(
+    st.sampled_from(["width", "height", "queue_size", "n_stations", "x"]),
+    st.integers(min_value=1, max_value=9),
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(kwargs=kwarg_dicts, data=st.data())
+def test_scenario_spec_key_invariant_under_kwarg_order(kwargs, data):
+    items = list(kwargs.items())
+    shuffled = data.draw(st.permutations(items))
+    a = ScenarioSpec(builder="abstract_mi_mesh", kwargs=kwargs)
+    b = ScenarioSpec(builder="abstract_mi_mesh", kwargs=tuple(shuffled))
+    assert a.key() == b.key()
+    assert stable_hash(a.key()) == stable_hash(b.key())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    query_jobs=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+    portfolio=st.booleans(),
+    label=st.one_of(st.none(), st.text(max_size=10)),
+)
+def test_scenario_spec_key_ignores_scheduling_hints(query_jobs, portfolio, label):
+    base = ScenarioSpec(builder="producer_consumer", kwargs={"queue_size": 2})
+    hinted = ScenarioSpec(
+        builder="producer_consumer",
+        kwargs={"queue_size": 2},
+        query_jobs=query_jobs,
+        portfolio=portfolio,
+        label=label,
+    )
+    assert base.key() == hinted.key()
+
+
+def test_scenario_spec_key_separates_different_requests():
+    a = ScenarioSpec(builder="producer_consumer", kwargs={"queue_size": 2})
+    b = ScenarioSpec(builder="producer_consumer", kwargs={"queue_size": 3})
+    c = ScenarioSpec(builder="token_ring", kwargs={"queue_size": 2})
+    assert len({a.key(), b.key(), c.key()}) == 3
+
+
+# ---------------------------------------------------------------------------
+# SessionSnapshot.content_hash(): canonical encoding identity
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def reference_hash():
+    spec = SessionSpec(_network(), parametric_queues=True)
+    spec.generate_invariants()
+    return spec.snapshot().content_hash()
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    max_splits=st.sampled_from([1_000, 50_000, 100_000]),
+    reduce_base=st.sampled_from([None, 200, 2000]),
+)
+def test_content_hash_ignores_scheduling_hints(
+    reference_hash, max_splits, reduce_base
+):
+    # The hash names the *encoding* (CNF image, atoms, guards, defaults),
+    # not the solver schedule: split budgets and clause-database knobs
+    # must not move it, or the warm/cold tiers would miss on every
+    # client-side tuning difference.
+    spec = SessionSpec(_network(), parametric_queues=True)
+    spec.generate_invariants()
+    opts = None if reduce_base is None else {"reduce_base": reduce_base}
+    snapshot = spec.snapshot(max_splits=max_splits, reduction_opts=opts)
+    assert snapshot.content_hash() == reference_hash
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(min_value=0, max_value=3))
+def test_content_hash_survives_pickle_round_trips(reference_hash, rounds):
+    spec = SessionSpec(_network(), parametric_queues=True)
+    spec.generate_invariants()
+    snapshot = spec.snapshot()
+    for _ in range(rounds):
+        snapshot = pickle.loads(pickle.dumps(snapshot))
+    assert snapshot.content_hash() == reference_hash
+
+
+def test_content_hash_is_rebuild_stable_and_discriminating(reference_hash):
+    # Two independent builds allocate different process-local uids; the
+    # rank-renumbered payload must hash identically anyway.
+    spec = SessionSpec(_network(), parametric_queues=True)
+    spec.generate_invariants()
+    assert spec.snapshot().content_hash() == reference_hash
+    # ... while a genuinely different encoding must not collide.
+    other = SessionSpec(producer_consumer(queue_size=2), parametric_queues=True)
+    other.generate_invariants()
+    assert other.snapshot().content_hash() != reference_hash
+    # Invariants are part of the encoding (they strengthen the CNF).
+    bare = SessionSpec(_network(), parametric_queues=True)
+    assert bare.snapshot().content_hash() != reference_hash
+
+
+# ---------------------------------------------------------------------------
+# VerdictStore (cold tier)
+# ---------------------------------------------------------------------------
+
+
+def test_verdict_store_round_trip_and_counters(tmp_path):
+    store = VerdictStore(tmp_path / "verdicts")
+    qkey = canonical_json({"target": None, "sizes": [["q0", 2]]})
+    assert store.get("ehash-a", qkey) is None
+    payload = {"verdict": "deadlock-free", "unsat_core": ["cap[q0==2]"]}
+    store.put("ehash-a", qkey, payload)
+    assert store.get("ehash-a", qkey) == payload
+    assert store.get("ehash-a", canonical_json({"other": 1})) is None
+    assert store.hits == 1 and store.misses == 2
+    assert len(store) == 1
+
+    # Content-addressed on disk: a fresh instance over the same root
+    # serves the verdict without recomputation.
+    reopened = VerdictStore(tmp_path / "verdicts")
+    assert reopened.get("ehash-a", qkey) == payload
+
+
+def test_verdict_store_memory_only_mode():
+    store = VerdictStore(None)
+    qkey = canonical_json({"op": "verify"})
+    store.put("ehash", qkey, {"verdict": "deadlock-candidate"})
+    assert store.get("ehash", qkey) == {"verdict": "deadlock-candidate"}
+    assert len(store) == 1
+
+
+# ---------------------------------------------------------------------------
+# SnapshotStore (warm tier)
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_store_round_trip(tmp_path):
+    spec = SessionSpec(_network(), parametric_queues=True)
+    spec.generate_invariants()
+    snapshot = spec.snapshot()
+    store = SnapshotStore(tmp_path / "snapshots")
+    meta = {"builder": "running_example", "cases": []}
+    ehash = store.store(snapshot, meta)
+    assert ehash == snapshot.content_hash()
+    assert store.has_snapshot(ehash)
+    assert store.meta(ehash)["builder"] == "running_example"
+
+    loaded = store.load(ehash)
+    assert loaded.content_hash() == ehash
+
+    # The spec-key index maps request identity -> encoding identity.
+    spec_key = ScenarioSpec(
+        builder="running_example", kwargs={"queue_size": 2}
+    ).key()
+    assert store.lookup(spec_key) is None
+    store.bind(spec_key, ehash)
+    assert store.lookup(spec_key) == ehash
+    # Bindings persist across instances (index.json on disk).
+    assert SnapshotStore(tmp_path / "snapshots").lookup(spec_key) == ehash
+
+
+# ---------------------------------------------------------------------------
+# LruSessionCache (hot tier)
+# ---------------------------------------------------------------------------
+
+
+class _FakeSession:
+    def __init__(self):
+        self.closed = 0
+
+    def close(self):
+        self.closed += 1
+
+
+def test_lru_cache_evicts_least_recent_and_closes(tmp_path):
+    cache = LruSessionCache(capacity=2)
+    a, b, c = _FakeSession(), _FakeSession(), _FakeSession()
+    cache.put("a", a)
+    cache.put("b", b)
+    assert cache.get("a") is a  # refresh: "b" is now least-recent
+    cache.put("c", c)
+    assert cache.evictions == 1
+    assert b.closed == 1 and a.closed == 0 and c.closed == 0
+    assert "b" not in cache and set(cache.keys()) == {"a", "c"}
+    assert cache.get("b") is None
+
+    cache.pop("a")
+    assert a.closed == 1  # pop drops *and* closes
+    cache.close_all()
+    assert c.closed == 1 and len(cache) == 0
+    cache.pop("missing")  # absent keys are a no-op
+
+
+def test_lru_cache_put_replaces_and_closes_previous():
+    cache = LruSessionCache(capacity=2)
+    old, new = _FakeSession(), _FakeSession()
+    cache.put("k", old)
+    cache.put("k", old)  # re-putting the same entry must not close it
+    assert old.closed == 0
+    cache.put("k", new)
+    assert old.closed == 1 and cache.get("k") is new and len(cache) == 1

@@ -1,0 +1,360 @@
+"""Verification service: tiered caching, coalescing, lifecycle hygiene.
+
+End-to-end coverage for the PR-9 service layer
+(:mod:`repro.core.service`):
+
+* the tier walk — a first query builds (``cache: "build"``), an
+  identical repeat is archived (``"cold"``), a *distinct* query on the
+  same encoding rehydrates a pool worker (``"warm"``) and promotes the
+  encoding into the hot tier, after which further distinct queries
+  answer in-server (``"hot"``);
+* single-flight coalescing, bounded-queue backpressure, and the
+  TIMEOUT-is-never-archived rule;
+* the ``close()`` contract regression suite — idempotent on every
+  session flavour, and pool workers actually released (the chaos
+  suite's no-leaked-children fixture is re-used verbatim);
+* hot-tier LRU eviction under ``hot_capacity < distinct specs`` and
+  cold-tier persistence across a service restart on the same cache dir;
+* the TCP protocol through both the asyncio and the blocking client.
+
+Async scenarios run through ``asyncio.run`` inside sync tests (the
+container has no pytest-asyncio); the process backend is exercised where
+children/eviction are the point, the thread backend everywhere else.
+"""
+
+import asyncio
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core import (
+    AsyncServiceClient,
+    ParallelVerificationSession,
+    ServiceClient,
+    ServiceSession,
+    SessionSpec,
+    VerificationService,
+    VerificationSession,
+    install_fault_plan,
+    shutdown_scenario_executors,
+)
+from repro.netlib import running_example
+
+pytestmark = pytest.mark.chaos
+
+RUNNING = {"builder": "running_example", "kwargs": {"queue_size": 2}}
+PRODCON = {"builder": "producer_consumer", "kwargs": {"queue_size": 2}}
+RING = {"builder": "token_ring", "kwargs": {"n_stations": 3, "queue_size": 1}}
+
+
+@pytest.fixture(autouse=True)
+def hermetic_faults():
+    """Every service test starts clean and leaves no plan, pool or child."""
+    install_fault_plan(None)
+    yield
+    install_fault_plan(None)
+    shutdown_scenario_executors()
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+def run_service(scenario, **service_kwargs):
+    """Spin a service up inside ``asyncio.run``, guarantee aclose()."""
+    service_kwargs.setdefault("backend", "thread")
+    service_kwargs.setdefault("jobs", 2)
+
+    async def _main():
+        service = VerificationService(**service_kwargs)
+        try:
+            return await scenario(service)
+        finally:
+            await service.aclose()
+
+    return asyncio.run(_main())
+
+
+# ---------------------------------------------------------------------------
+# The tier walk
+# ---------------------------------------------------------------------------
+
+
+def test_tier_walk_build_cold_warm_hot(tmp_path):
+    async def scenario(service):
+        first = await service.handle_request(
+            {"id": 1, "op": "verify", "spec": RUNNING}
+        )
+        assert first["ok"] and first["cache"] == "build"
+        assert first["verdict"] == "deadlock-free"
+        assert first["unsat_core"], "eager solve must report a core"
+
+        repeat = await service.handle_request(
+            {"id": 2, "op": "verify", "spec": RUNNING}
+        )
+        assert repeat["cache"] == "cold"
+        assert repeat["verdict"] == first["verdict"]
+        assert repeat["unsat_core"] == first["unsat_core"]
+
+        cases = await service.handle_request(
+            {"id": 3, "op": "cases", "spec": RUNNING}
+        )
+        assert cases["ok"] and cases["cases"]
+        assert cases["encoding_hash"]
+
+        channel = await service.handle_request(
+            {
+                "id": 4,
+                "op": "verify_channel",
+                "spec": RUNNING,
+                "params": {"case": 0},
+            }
+        )
+        assert channel["ok"] and channel["cache"] == "warm"
+        assert channel["case"] == cases["cases"][0]["label"]
+
+        # The warm solve promoted the encoding: the next distinct query
+        # answers from the live in-server session.
+        hot = await service.handle_request(
+            {
+                "id": 5,
+                "op": "verify_channel",
+                "spec": RUNNING,
+                "params": {"case": 1},
+            }
+        )
+        assert hot["ok"] and hot["cache"] == "hot"
+
+        stats = service.stats()
+        assert stats["queries"] == 4  # "cases" is not a query
+        assert stats["hits"] == {"build": 1, "cold": 1, "warm": 1, "hot": 1}
+        assert stats["hot_live"] == 1 and stats["pending"] == 0
+
+    run_service(scenario, cache_dir=str(tmp_path))
+
+
+def test_witness_and_size_queries(tmp_path):
+    async def scenario(service):
+        witness = await service.handle_request(
+            {"id": 1, "op": "witness", "spec": RING}
+        )
+        assert witness["ok"] and witness["verdict"] == "deadlock-candidate"
+        assert witness["witness"]["ints"], "sat verdict must carry a witness"
+        assert witness["witness"]["blocked"]
+
+        size = await service.handle_request(
+            {"id": 2, "op": "size", "spec": PRODCON, "params": {"max_size": 8}}
+        )
+        assert size["ok"] and size["cache"] == "build"
+        assert size["minimal_size"] >= 1 and size["probes"]
+
+        again = await service.handle_request(
+            {"id": 3, "op": "size", "spec": PRODCON, "params": {"max_size": 8}}
+        )
+        assert again["cache"] == "cold"
+        assert again["minimal_size"] == size["minimal_size"]
+
+    run_service(scenario, cache_dir=str(tmp_path))
+
+
+def test_unknown_op_and_bad_spec_are_request_level_errors(tmp_path):
+    async def scenario(service):
+        bad_op = await service.handle_request({"id": 1, "op": "frobnicate"})
+        assert not bad_op["ok"] and "unknown op" in bad_op["error"]
+        no_spec = await service.handle_request({"id": 2, "op": "verify"})
+        assert not no_spec["ok"]
+        # The server survives both: a good request still answers.
+        ping = await service.handle_request({"id": 3, "op": "ping"})
+        assert ping["ok"] and ping["pong"]
+        assert service.stats()["errors"] == 2
+
+    run_service(scenario, cache_dir=str(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# Coalescing, backpressure, deadlines
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_identical_queries_coalesce(tmp_path):
+    async def scenario(service):
+        responses = await asyncio.gather(
+            *(
+                service.handle_request({"id": i, "op": "verify", "spec": RING})
+                for i in range(4)
+            )
+        )
+        assert all(r["ok"] for r in responses)
+        assert len({r["verdict"] for r in responses}) == 1
+        stats = service.stats()
+        assert stats["coalesced"] == 3
+        assert stats["queries"] == 4
+        # One solve answered everyone: exactly one non-coalesced hit.
+        assert sum(stats["hits"].values()) == 1
+
+    run_service(scenario, cache_dir=str(tmp_path))
+
+
+def test_backpressure_rejects_when_overloaded(tmp_path):
+    async def scenario(service):
+        response = await service.handle_request(
+            {"id": 1, "op": "verify", "spec": RUNNING}
+        )
+        assert not response["ok"] and response["error"] == "overloaded"
+        assert service.stats()["rejected"] == 1
+
+    run_service(scenario, cache_dir=str(tmp_path), max_pending=0)
+
+
+def test_timeout_verdict_is_never_archived(tmp_path):
+    async def scenario(service):
+        timed = await service.handle_request(
+            {"id": 1, "op": "verify", "spec": PRODCON, "deadline_s": 0.0}
+        )
+        assert timed["ok"] and timed["verdict"] == "timeout"
+
+        # The budget expiry was the *request's* property, not the
+        # encoding's: the repeat must re-solve (warm tier — the build
+        # was archived even though the verdict was not) and succeed.
+        fresh = await service.handle_request(
+            {"id": 2, "op": "verify", "spec": PRODCON}
+        )
+        assert fresh["ok"] and fresh["cache"] == "warm"
+        assert fresh["verdict"] == "deadlock-free"
+
+        # Cached verdicts are served regardless of any deadline.
+        cached = await service.handle_request(
+            {"id": 3, "op": "verify", "spec": PRODCON, "deadline_s": 0.0}
+        )
+        assert cached["ok"] and cached["cache"] == "cold"
+        assert cached["verdict"] == "deadlock-free"
+
+    run_service(scenario, cache_dir=str(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# close() contract regressions
+# ---------------------------------------------------------------------------
+
+
+def test_verification_session_close_is_idempotent():
+    session = VerificationSession(running_example(queue_size=2).network)
+    session.add_invariants()
+    before = session.verify().verdict
+    session.close()
+    session.close()  # idempotent
+    # Local sessions hold no external resources: still usable.
+    assert session.verify().verdict == before
+
+
+def test_parallel_session_close_releases_workers_and_is_idempotent():
+    spec = SessionSpec(
+        running_example(queue_size=2).network, parametric_queues=True
+    )
+    spec.generate_invariants()
+    session = ParallelVerificationSession(
+        spec=spec, jobs=2, backend="process", force_pool=True
+    )
+    results = session.verify_all_cases()
+    assert results and multiprocessing.active_children()
+
+    session.close()
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+    session.close()  # second close: no-op, no error
+
+
+def test_service_session_close_is_idempotent():
+    spec = SessionSpec(
+        running_example(queue_size=2).network, parametric_queues=True
+    )
+    spec.generate_invariants()
+    snapshot = spec.snapshot()
+    entry = ServiceSession(snapshot.content_hash(), snapshot)
+    answer = entry.run(None, None, False, None)
+    assert answer["verdict"] == "deadlock-free"
+
+    entry.close()
+    entry.close()  # idempotent
+    assert entry.closed and entry.worker is None
+    with pytest.raises(RuntimeError):
+        entry.run(None, None, False, None)
+
+
+# ---------------------------------------------------------------------------
+# Eviction and persistence (process backend)
+# ---------------------------------------------------------------------------
+
+
+def test_lru_eviction_under_load_and_restart_persistence(tmp_path):
+    cache_dir = str(tmp_path)
+
+    async def churn(service):
+        for spec in (RUNNING, PRODCON):
+            built = await service.handle_request({"op": "verify", "spec": spec})
+            assert built["ok"]
+            # A distinct query promotes the encoding into the hot tier;
+            # with capacity 1 the second spec evicts the first.
+            promoted = await service.handle_request(
+                {"op": "verify_channel", "spec": spec, "params": {"case": 0}}
+            )
+            assert promoted["ok"] and promoted["cache"] == "warm"
+        stats = service.stats()
+        assert stats["evictions"] >= 1
+        assert stats["hot_live"] == 1
+
+    run_service(
+        churn, cache_dir=cache_dir, hot_capacity=1, backend="process"
+    )
+    assert multiprocessing.active_children() == []
+
+    # A fresh service over the same cache dir serves archived verdicts
+    # without touching a solver (content-addressed cold tier on disk).
+    async def rehydrated(service):
+        response = await service.handle_request(
+            {"op": "verify", "spec": RUNNING}
+        )
+        assert response["ok"] and response["cache"] == "cold"
+        assert response["verdict"] == "deadlock-free"
+
+    run_service(rehydrated, cache_dir=cache_dir)
+
+
+# ---------------------------------------------------------------------------
+# The wire protocol
+# ---------------------------------------------------------------------------
+
+
+def test_tcp_round_trip_with_both_clients(tmp_path):
+    async def scenario(service):
+        await service.serve()
+        port = service.port
+
+        client = await AsyncServiceClient.connect("127.0.0.1", port)
+        pong = await client.request("ping")
+        assert pong["ok"] and pong["pong"] and pong["id"] == 1
+        first = await client.request("verify", spec=RUNNING)
+        assert first["ok"] and first["cache"] == "build"
+
+        def blocking_calls():
+            with ServiceClient("127.0.0.1", port) as sync_client:
+                ping = sync_client.request("ping")
+                repeat = sync_client.request("verify", spec=RUNNING)
+                stats = sync_client.request("stats")
+                return ping, repeat, stats
+
+        ping, repeat, stats = await asyncio.to_thread(blocking_calls)
+        assert ping["pong"]
+        assert repeat["cache"] == "cold"
+        assert repeat["verdict"] == first["verdict"]
+        assert stats["stats"]["queries"] == 2
+
+        stopping = await client.request("shutdown")
+        assert stopping["ok"] and stopping["stopping"]
+        assert service._shutdown.is_set()
+        await client.aclose()
+
+    run_service(scenario, cache_dir=str(tmp_path))
