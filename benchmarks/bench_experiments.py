@@ -44,7 +44,7 @@ from repro.core import (
     sha_bytes,
     shutdown_scenario_executors,
 )
-from repro.fabrics import octant_positions
+from repro.fabrics import MeshTopology
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_experiments.json"
 
@@ -56,7 +56,7 @@ def build_grid(smoke: bool, invariants: str = "eager") -> Experiment:
     meshes = [(2, 2), (2, 3)] if smoke else [(2, 2), (2, 3), (3, 3)]
     scenarios = []
     for width, height in meshes:
-        for position in octant_positions(width, height):
+        for position in MeshTopology(width, height).probe_positions():
             scenarios.append(
                 ScenarioSpec(
                     builder="abstract_mi_mesh",

@@ -1,0 +1,190 @@
+"""Topology × protocol grid: minima and wrap-deadlock records.
+
+The generalized fabric API (``Topology`` + the generic router builder)
+makes the experiment grid two-dimensional: every protocol family runs on
+every fabric shape.  This benchmark pins that surface down with three
+records:
+
+* **protocol grid** — minimal deadlock-free queue sizes for
+  ``{mesh 2x2, torus 2x2, ring 4} × {abstract MI, MSI}``, answered by the
+  sequential scheduler and by sharded scenario workers.  Verdicts must be
+  byte-identical (``ExperimentResult.verdict_bytes``) — the sha is gated
+  against the committed baseline on every runner.
+* **wrap deadlock** — the dateline ablation: torus / ring traffic fabrics
+  *without* escape VCs must produce a deadlock witness (the wrap links
+  close the channel-dependence cycle), and the same fabrics *with* the
+  dateline scheme must verify deadlock-free.
+* **expected minima** — the measured minima are asserted exactly
+  (abstract MI: 3 on all three fabrics; MSI: 4 on all three), so a
+  protocol or fabric regression fails the run itself, not only the sha
+  comparison.
+
+Results land in ``BENCH_fabrics.json`` at the repository root.  Run
+standalone (``python benchmarks/bench_fabrics.py [--jobs 2] [--smoke]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import report
+
+from repro import Verdict, verify
+from repro.core import (
+    Experiment,
+    ScenarioSpec,
+    sha_bytes,
+    shutdown_scenario_executors,
+)
+from repro.fabrics import traffic_ring, traffic_torus
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_fabrics.json"
+
+# fabric label -> (builder, kwargs, expected minimum by protocol family)
+GRID = [
+    ("mesh 2x2", "abstract_mi_mesh", {"width": 2, "height": 2}, 3),
+    ("torus 2x2", "abstract_mi_torus", {"width": 2, "height": 2}, 3),
+    ("ring 4", "abstract_mi_ring", {"n_nodes": 4}, 3),
+    ("mesh 2x2", "msi_mesh", {"width": 2, "height": 2}, 4),
+    ("torus 2x2", "msi_torus", {"width": 2, "height": 2}, 4),
+    ("ring 4", "msi_ring", {"n_nodes": 4}, 4),
+]
+
+
+def build_grid(smoke: bool) -> tuple[Experiment, list[int]]:
+    scenarios, expected = [], []
+    for fabric, builder, kwargs, minimum in GRID:
+        family = "MSI" if builder.startswith("msi") else "MI"
+        scenarios.append(
+            ScenarioSpec(
+                builder=builder,
+                kwargs=kwargs,
+                mode="search",
+                max_size=8,
+                label=f"{family} on {fabric}",
+            )
+        )
+        expected.append(minimum)
+    return Experiment("fabric-grid" + ("-smoke" if smoke else ""), scenarios), expected
+
+
+def bench_protocol_grid(jobs: int, smoke: bool) -> dict:
+    experiment, expected = build_grid(smoke)
+
+    start = time.perf_counter()
+    sequential = experiment.run(jobs=1)
+    seq_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = experiment.run(jobs=jobs)
+    par_s = time.perf_counter() - start
+
+    seq_bytes, par_bytes = sequential.verdict_bytes(), sharded.verdict_bytes()
+    assert seq_bytes == par_bytes, "sharded fabric-grid verdicts diverged"
+    minima = [s.minimal_size for s in sequential.scenarios]
+    assert minima == expected, (
+        f"fabric-grid minima drifted: measured {minima}, expected {expected}"
+    )
+    return {
+        "scenarios": len(experiment),
+        "grid": [s.label for s in sequential.scenarios],
+        "minimal_sizes": minima,
+        "jobs": jobs,
+        "sequential_s": round(seq_s, 3),
+        "sharded_s": round(par_s, 3),
+        "verdicts_byte_identical": True,
+        "verdict_sha": sha_bytes(seq_bytes),
+    }
+
+
+def bench_wrap_deadlock() -> dict:
+    """The dateline ablation on fabric-only traffic networks."""
+    record = {}
+    for label, build in (
+        ("ring 4", lambda escape: traffic_ring(4, queue_size=3, escape_vcs=escape)),
+        (
+            "torus 4x2",
+            lambda escape: traffic_torus(4, 2, queue_size=2, escape_vcs=escape),
+        ),
+    ):
+        start = time.perf_counter()
+        exposed = verify(build(False))
+        protected = verify(build(True))
+        elapsed = time.perf_counter() - start
+        assert exposed.verdict is Verdict.DEADLOCK_CANDIDATE, (
+            f"{label} without escape VCs must expose the wrap cycle"
+        )
+        assert exposed.witness is not None, f"{label} lost its wrap witness"
+        assert protected.verdict is Verdict.DEADLOCK_FREE, (
+            f"{label} with the dateline scheme must be deadlock-free"
+        )
+        record[label] = {
+            "no_escape_verdict": exposed.verdict.value,
+            "witness_extracted": True,
+            "escape_verdict": protected.verdict.value,
+            "elapsed_s": round(elapsed, 3),
+        }
+    record["verdicts_wrap_ablation"] = True
+    return record
+
+
+def run_benchmarks(jobs: int = 2, smoke: bool = False) -> dict:
+    results = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": os.cpu_count() or 1,
+        "smoke": smoke,
+        "protocol_grid": bench_protocol_grid(jobs, smoke),
+        "wrap_deadlock": bench_wrap_deadlock(),
+    }
+    shutdown_scenario_executors()
+    return results
+
+
+def _record_and_report(results: dict) -> None:
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    grid = results["protocol_grid"]
+    rows = [
+        f"{label}: minimal queue size {minimum}"
+        for label, minimum in zip(grid["grid"], grid["minimal_sizes"])
+    ]
+    rows.append(
+        f"grid: sequential {grid['sequential_s']}s vs sharded "
+        f"{grid['sharded_s']}s (jobs={grid['jobs']}, byte-identical verdicts)"
+    )
+    for label in ("ring 4", "torus 4x2"):
+        wrap = results["wrap_deadlock"][label]
+        rows.append(
+            f"{label} traffic: no-escape {wrap['no_escape_verdict']} "
+            f"(witness extracted) / dateline {wrap['escape_verdict']}"
+        )
+    report(
+        "topology x protocol grid: minima + wrap-deadlock ablation "
+        "(BENCH_fabrics.json)",
+        rows,
+    )
+
+
+def check_acceptance(results: dict) -> None:
+    assert results["protocol_grid"]["verdicts_byte_identical"]
+    assert results["wrap_deadlock"]["verdicts_wrap_ablation"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="scenario worker count (default 2)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="record the smoke flag for the CI baseline gate")
+    args = parser.parse_args()
+    results = run_benchmarks(jobs=args.jobs, smoke=args.smoke)
+    _record_and_report(results)
+    check_acceptance(results)
+    print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ import os
 from conftest import report
 
 from repro.core import Experiment, ScenarioSpec
-from repro.fabrics import octant_positions
+from repro.fabrics import MeshTopology
 
 
 def _sweep(n: int, invariants: str = "eager") -> dict[tuple[int, int], int]:
@@ -34,13 +34,13 @@ def _sweep(n: int, invariants: str = "eager") -> dict[tuple[int, int], int]:
                 mode="search",
                 invariants=invariants,
             )
-            for pos in octant_positions(n, n)
+            for pos in MeshTopology(n, n).probe_positions()
         ],
     )
     result = experiment.run(jobs=1)
     return {
         pos: scenario.minimal_size
-        for pos, scenario in zip(octant_positions(n, n), result.scenarios)
+        for pos, scenario in zip(MeshTopology(n, n).probe_positions(), result.scenarios)
     }
 
 

@@ -38,7 +38,7 @@ Run:  python examples/queue_sizing.py [--max-mesh 3] [--jobs 4] [--sweep]
 import argparse
 
 from repro.core import Experiment, ScenarioSpec
-from repro.fabrics import octant_positions
+from repro.fabrics import MeshTopology
 
 
 def fig4_experiment(
@@ -58,7 +58,7 @@ def fig4_experiment(
     """
     scenarios = []
     for n in range(2, max_mesh + 1):
-        for position in octant_positions(n, n):
+        for position in MeshTopology(n, n).probe_positions():
             scenarios.append(
                 ScenarioSpec(
                     builder="abstract_mi_mesh",

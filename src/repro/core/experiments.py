@@ -46,6 +46,7 @@ loop; ``EXPERIMENTS.md`` maps each paper figure to its driver.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import json
 import warnings
@@ -84,6 +85,7 @@ __all__ = [
     "ExperimentResult",
     "ScenarioResult",
     "ScenarioSpec",
+    "builder_catalog",
     "register_builder",
     "registered_builders",
     "resolve_builder",
@@ -98,6 +100,9 @@ SCENARIO_MODES = ("search", "sweep")
 # ---------------------------------------------------------------------------
 
 _BUILDERS: dict[str, Callable[..., Any]] = {}
+# Registration-time grouping for discovery (builder_catalog, the service's
+# stats/cases ops): "abstract_mi", "mi", "msi", "fabric", "netlib", ...
+_FAMILIES: dict[str, str] = {}
 _DEFAULTS_LOADED = False
 # Bumped on every (new) registration; Experiment.run hands it to
 # scenario_executor as the cache epoch, so fork-started workers created
@@ -106,15 +111,52 @@ _DEFAULTS_LOADED = False
 _REGISTRY_GENERATION = 0
 
 
-def register_builder(name: str, builder: Callable[..., Any] | None = None):
+def _check_builder_signature(name: str, fn: Callable[..., Any]) -> None:
+    """Reject builders a :class:`ScenarioSpec` could never call.
+
+    Specs carry kwargs only (sorted name/value pairs), so every spec
+    parameter must be addressable by keyword: positional-only parameters
+    and ``*args`` catch-alls are registration-time errors rather than
+    grid-run-time surprises.  Non-introspectable callables (C builtins)
+    pass through — the spec will fail loudly at build time instead.
+    """
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.POSITIONAL_ONLY:
+            raise TypeError(
+                f"builder {name!r} has positional-only parameter "
+                f"{param.name!r}; ScenarioSpec passes kwargs only"
+            )
+        if param.kind is inspect.Parameter.VAR_POSITIONAL:
+            raise TypeError(
+                f"builder {name!r} takes *{param.name}; ScenarioSpec "
+                "passes kwargs only"
+            )
+
+
+def register_builder(
+    name: str,
+    builder: Callable[..., Any] | None = None,
+    *,
+    family: str = "misc",
+):
     """Register ``builder`` under ``name`` (usable as a decorator).
 
     A builder takes keyword arguments (one of which is the scenario's
     size parameter, by default ``queue_size``) and returns a
     :class:`~repro.xmas.Network` — or an instance object with a
     ``.network`` attribute, which :meth:`ScenarioSpec.build` unwraps.
+    The signature is validated at registration: every parameter must be
+    keyword-addressable (see :func:`_check_builder_signature`).
     Re-registering a name with a different callable is an error (grids
     rely on names being stable across processes).
+
+    ``family`` groups related builders for discovery — the experiment
+    service's ``stats``/``cases`` ops and :func:`builder_catalog` report
+    it, so a client can enumerate e.g. every ``"msi"`` case study.
 
     Note on start methods: under ``fork`` (the Linux default) workers
     inherit every registration made before the pool started — and the
@@ -129,7 +171,9 @@ def register_builder(name: str, builder: Callable[..., Any] | None = None):
         if existing is not None and existing is not fn:
             raise ValueError(f"builder {name!r} is already registered")
         if existing is None:
+            _check_builder_signature(name, fn)
             _BUILDERS[name] = fn
+            _FAMILIES[name] = family
             _REGISTRY_GENERATION += 1
         return fn
 
@@ -176,6 +220,28 @@ def registered_builders() -> list[str]:
     """Sorted names of every registered builder."""
     _ensure_default_builders()
     return sorted(_BUILDERS)
+
+
+def builder_catalog() -> dict[str, dict[str, Any]]:
+    """Discovery view of the registry: ``{name: {family, params}}``.
+
+    ``params`` lists the builder's keyword parameters in declaration
+    order (empty for non-introspectable callables), so a client can see
+    which axes a grid over that builder may legally span.
+    """
+    _ensure_default_builders()
+    catalog: dict[str, dict[str, Any]] = {}
+    for name in sorted(_BUILDERS):
+        fn = _BUILDERS[name]
+        try:
+            params = list(inspect.signature(fn).parameters)
+        except (TypeError, ValueError):
+            params = []
+        catalog[name] = {
+            "family": _FAMILIES.get(name, "misc"),
+            "params": params,
+        }
+    return catalog
 
 
 def _freeze(value: Any) -> Any:

@@ -64,7 +64,7 @@ from .cache import (
     stable_hash,
 )
 from .engine import SessionSnapshot, resolve_resize
-from .experiments import ScenarioSpec, run_scenario
+from .experiments import ScenarioSpec, builder_catalog, run_scenario
 from .parallel import (
     WorkerSession,
     _process_context,
@@ -592,6 +592,11 @@ class VerificationService:
         return response
 
     async def _handle_cases(self, request: dict) -> dict:
+        if not isinstance(request.get("spec"), dict):
+            # Discovery: a spec-less ``cases`` request lists what can be
+            # built — every registered builder with its protocol family
+            # and keyword parameters (the shape of a valid spec).
+            return {"builders": builder_catalog()}
         spec = self._spec_of(request)
         spec_key = spec.key()
         async with self._spec_lock(stable_hash(spec_key)):
@@ -813,6 +818,10 @@ class VerificationService:
     def stats(self) -> dict:
         hits = dict(self.counters["hits"])
         return {
+            "builders": {
+                name: meta["family"]
+                for name, meta in builder_catalog().items()
+            },
             "queries": self.counters["queries"],
             "hits": hits,
             "coalesced": self.counters["coalesced"],

@@ -1,22 +1,59 @@
 """Interconnect fabrics assembled from xMAS primitives.
 
-:func:`build_mesh` instantiates a store-and-forward 2D mesh with XY (or
-caller-supplied) routing and optional virtual channels into a
-:class:`~repro.xmas.NetworkBuilder`; protocol automata attach through the
-returned :class:`MeshFabric` ports.
+The fabric layer is a plugin API around the abstract
+:class:`~repro.fabrics.topology.Topology` interface:
+
+* :mod:`repro.fabrics.topology` — :class:`MeshTopology`,
+  :class:`TorusTopology` (wraparound + dateline escape VCs) and
+  :class:`RingTopology`; each knows its ports, neighbours, symmetry-orbit
+  probe positions and routing functions.
+* :mod:`repro.fabrics.fabric` — :func:`build_fabric` instantiates the
+  store-and-forward input-queued router at every node of any topology
+  into a :class:`~repro.xmas.NetworkBuilder`; protocol automata attach
+  through the returned :class:`Fabric` ports.
+* :mod:`repro.fabrics.mesh` — the historic mesh-shaped front
+  (:class:`MeshConfig` / :func:`build_mesh`), byte-identical to the old
+  mesh-only builder.
 """
 
+from .fabric import (
+    Fabric,
+    FabricConfig,
+    build_fabric,
+    build_traffic,
+    traffic_mesh,
+    traffic_ring,
+    traffic_torus,
+)
 from .mesh import MeshConfig, MeshFabric, build_mesh
-from .routing import route_path, xy_routing, yx_routing
-from .topology import Direction, MeshTopology, octant_positions
+from .routing import as_routing_function, route_path, xy_routing, yx_routing
+from .topology import (
+    Direction,
+    MeshTopology,
+    RingTopology,
+    Topology,
+    TorusTopology,
+    octant_positions,
+)
 
 __all__ = [
+    "Topology",
+    "MeshTopology",
+    "TorusTopology",
+    "RingTopology",
+    "Direction",
+    "Fabric",
+    "FabricConfig",
+    "build_fabric",
+    "build_traffic",
     "MeshConfig",
     "MeshFabric",
     "build_mesh",
-    "MeshTopology",
-    "Direction",
+    "traffic_mesh",
+    "traffic_torus",
+    "traffic_ring",
     "octant_positions",
+    "as_routing_function",
     "xy_routing",
     "yx_routing",
     "route_path",

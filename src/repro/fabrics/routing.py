@@ -1,27 +1,47 @@
-"""Routing algorithms for 2D meshes.
+"""Routing functions over :class:`~repro.fabrics.topology.Topology`.
 
-XY (dimension-ordered) routing: correct the x coordinate first, then the y
-coordinate.  The turn restriction (no Y→X turns) makes the routing function
-acyclic on the channel dependence graph, so the *fabric alone* is
-deadlock-free — exactly the premise of the paper's case study, where the
-deadlocks that remain are cross-layer.
+The unified routing type is
 
-Routing functions map ``(current node, message) -> Direction | None``
-(``None`` = deliver locally).
+    ``RoutingFunction = (topology, node, message) -> port | None``
+
+(``None`` = deliver locally): the topology argument carries the shape, the
+returned port is one of ``topology.ports(node)``.  The historic mesh
+routers :func:`xy_routing` / :func:`yx_routing` keep their original
+``(node, message) -> Direction | None`` signature as adapters —
+:func:`as_routing_function` lifts either shape to the unified type, so
+existing call sites and configs keep working unchanged.
+
+XY (dimension-ordered) mesh routing: correct the x coordinate first, then
+the y coordinate.  The turn restriction (no Y→X turns) makes the routing
+function acyclic on the mesh's channel dependence graph, so that *fabric
+alone* is deadlock-free — exactly the premise of the paper's case study,
+where the deadlocks that remain are cross-layer.  On wraparound fabrics
+(torus/ring) dimension order is not enough: see
+:meth:`~repro.fabrics.topology.Topology.escape_vc_bit`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+import inspect
+from typing import TYPE_CHECKING, Callable, Optional
 
-from .topology import Direction, Node
+from .topology import Direction, Node, Port, Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..protocols.messages import Message
 
-__all__ = ["RoutingFunction", "xy_routing", "yx_routing", "route_path"]
+__all__ = [
+    "RoutingFunction",
+    "as_routing_function",
+    "route_path",
+    "xy_routing",
+    "yx_routing",
+]
 
-RoutingFunction = Callable[[Node, "Message"], "Direction | None"]
+RoutingFunction = Callable[[Topology, Node, "Message"], Optional[Port]]
+
+# Legacy mesh shape, kept for the xy/yx adapters below.
+LegacyRoutingFunction = Callable[[Node, "Message"], Optional[Direction]]
 
 
 def xy_routing(node: Node, message: Message) -> Direction | None:
@@ -54,17 +74,62 @@ def yx_routing(node: Node, message: Message) -> Direction | None:
     return None
 
 
+def as_routing_function(fn: Callable) -> RoutingFunction:
+    """Lift ``fn`` to the unified ``(topology, node, message)`` shape.
+
+    Already-unified functions pass through; two-parameter legacy mesh
+    routers (``(node, message) -> Direction | None``) are wrapped to ignore
+    the topology argument.
+    """
+    try:
+        # follow_wrapped=False: an already-lifted function advertises its
+        # legacy original via __wrapped__ and must not be lifted twice.
+        arity = len(inspect.signature(fn, follow_wrapped=False).parameters)
+    except (TypeError, ValueError):  # builtins / odd callables: assume new
+        return fn
+    if arity >= 3:
+        return fn
+
+    def lifted(topology: Topology, node: Node, message: Message):
+        return fn(node, message)
+
+    lifted.__name__ = getattr(fn, "__name__", "routing")
+    lifted.__wrapped__ = fn
+    return lifted
+
+
 def route_path(
-    routing: RoutingFunction, source: Node, message: Message, max_hops: int = 1024
+    routing: Callable,
+    source: Node,
+    message: Message,
+    max_hops: int = 1024,
+    topology: Topology | None = None,
 ) -> list[Node]:
-    """The node sequence a message visits from ``source`` to delivery."""
+    """The node sequence a message visits from ``source`` to delivery.
+
+    With a ``topology``, hops follow ``topology.neighbour`` (any port
+    shape, wraparound included); without one, the legacy mesh geometry
+    (``Direction`` offsets) is used so historic call sites keep working.
+    """
     path = [source]
     node = source
+    fn = as_routing_function(routing) if topology is not None else None
     for _ in range(max_hops):
-        step = routing(node, message)
-        if step is None:
-            return path
-        node = (node[0] + step.dx, node[1] + step.dy)
+        if topology is None:
+            step = routing(node, message)
+            if step is None:
+                return path
+            node = (node[0] + step.dx, node[1] + step.dy)
+        else:
+            step = fn(topology, node, message)
+            if step is None:
+                return path
+            next_node = topology.neighbour(node, step)
+            if next_node is None:
+                raise RuntimeError(
+                    f"routing stepped off {topology} at {node} via {step!r}"
+                )
+            node = next_node
         path.append(node)
     raise RuntimeError(
         f"routing did not converge from {source} to {message.dst} "

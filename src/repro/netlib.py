@@ -141,7 +141,11 @@ def token_ring(n_stations: int = 3, queue_size: int = 1) -> Network:
 # running_example returns an instance object; ScenarioSpec.build unwraps
 # its ``.network``.
 from .core.experiments import register_builder  # noqa: E402
+from .fabrics import traffic_mesh, traffic_ring, traffic_torus  # noqa: E402
 
-register_builder("running_example", running_example)
-register_builder("producer_consumer", producer_consumer)
-register_builder("token_ring", token_ring)
+register_builder("running_example", running_example, family="netlib")
+register_builder("producer_consumer", producer_consumer, family="netlib")
+register_builder("token_ring", token_ring, family="netlib")
+register_builder("traffic_mesh", traffic_mesh, family="fabric")
+register_builder("traffic_torus", traffic_torus, family="fabric")
+register_builder("traffic_ring", traffic_ring, family="fabric")

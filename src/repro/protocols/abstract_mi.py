@@ -36,15 +36,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..fabrics import MeshConfig, MeshFabric, build_mesh
+from ..fabrics import FabricConfig, MeshFabric, build_fabric
 from ..fabrics.routing import RoutingFunction, xy_routing
-from ..fabrics.topology import Node
+from ..fabrics.topology import (
+    MeshTopology,
+    Node,
+    RingTopology,
+    Topology,
+    TorusTopology,
+)
 from ..xmas import Automaton, Network, NetworkBuilder, Transition
 from .messages import TOKEN, Message
 
 __all__ = [
     "AbstractMIInstance",
     "abstract_mi_mesh",
+    "abstract_mi_network",
+    "abstract_mi_ring",
+    "abstract_mi_torus",
     "build_cache_automaton",
     "build_directory_automaton",
     "request_response_vc",
@@ -252,36 +261,41 @@ class AbstractMIInstance:
         return sorted(self.caches)
 
 
-def abstract_mi_mesh(
-    width: int,
-    height: int,
+def abstract_mi_network(
+    topology: Topology,
     queue_size: int,
     directory_node: Node | None = None,
     vcs: int = 1,
-    routing: RoutingFunction = xy_routing,
+    routing: RoutingFunction | None = None,
+    escape_vcs: bool = False,
     repeat_inv: bool = False,
     voluntary_replacement: bool = False,
     drop_stale_invs: bool = True,
     validate: bool = True,
+    name: str | None = None,
 ) -> AbstractMIInstance:
-    """The full case-study network: abstract MI on a ``width×height`` mesh.
+    """The abstract MI protocol over any :class:`Topology`.
 
-    Every node except ``directory_node`` (default: bottom-right corner)
-    hosts an L2 cache automaton.  All fabric queues share ``queue_size``.
+    Every node except ``directory_node`` (default: the last node in
+    canonical order — the bottom-right corner on a mesh) hosts an L2
+    cache automaton.  All fabric queues share ``queue_size``.  On
+    wraparound topologies pass ``escape_vcs=True`` so the fabric's own
+    wrap-link cycle does not drown the protocol's deadlocks.
     """
     if directory_node is None:
-        directory_node = (width - 1, height - 1)
-    builder = NetworkBuilder(f"abstract-mi-{width}x{height}-q{queue_size}")
-    config = MeshConfig(
-        width=width,
-        height=height,
+        directory_node = list(topology.nodes())[-1]
+    if name is None:
+        name = f"abstract-mi-{topology}-q{queue_size}".replace(" ", "-")
+    builder = NetworkBuilder(name)
+    config = FabricConfig(
+        topology=topology,
         queue_size=queue_size,
         vcs=vcs,
         routing=routing,
         vc_of=request_response_vc if vcs > 1 else None,
+        escape_vcs=escape_vcs,
     )
-    fabric = build_mesh(builder, config)
-    topology = config.topology
+    fabric = build_fabric(builder, config)
     cache_nodes = [n for n in topology.nodes() if n != directory_node]
 
     caches: dict[Node, Automaton] = {}
@@ -316,6 +330,84 @@ def abstract_mi_mesh(
         directory=directory,
         directory_node=directory_node,
         caches=caches,
+    )
+
+
+def abstract_mi_mesh(
+    width: int,
+    height: int,
+    queue_size: int,
+    directory_node: Node | None = None,
+    vcs: int = 1,
+    routing: RoutingFunction = xy_routing,
+    repeat_inv: bool = False,
+    voluntary_replacement: bool = False,
+    drop_stale_invs: bool = True,
+    validate: bool = True,
+) -> AbstractMIInstance:
+    """The paper's case study: abstract MI on a ``width×height`` mesh."""
+    return abstract_mi_network(
+        MeshTopology(width, height),
+        queue_size,
+        directory_node=directory_node,
+        vcs=vcs,
+        routing=routing,
+        repeat_inv=repeat_inv,
+        voluntary_replacement=voluntary_replacement,
+        drop_stale_invs=drop_stale_invs,
+        validate=validate,
+        name=f"abstract-mi-{width}x{height}-q{queue_size}",
+    )
+
+
+def abstract_mi_torus(
+    width: int,
+    height: int,
+    queue_size: int,
+    directory_node: Node | None = None,
+    vcs: int = 1,
+    escape_vcs: bool = True,
+    repeat_inv: bool = False,
+    voluntary_replacement: bool = False,
+    drop_stale_invs: bool = True,
+    validate: bool = True,
+) -> AbstractMIInstance:
+    """Abstract MI on a wraparound torus (dateline escape VCs by default)."""
+    return abstract_mi_network(
+        TorusTopology(width, height),
+        queue_size,
+        directory_node=directory_node,
+        vcs=vcs,
+        escape_vcs=escape_vcs,
+        repeat_inv=repeat_inv,
+        voluntary_replacement=voluntary_replacement,
+        drop_stale_invs=drop_stale_invs,
+        validate=validate,
+    )
+
+
+def abstract_mi_ring(
+    n_nodes: int,
+    queue_size: int,
+    directory_node: Node | None = None,
+    vcs: int = 1,
+    escape_vcs: bool = True,
+    repeat_inv: bool = False,
+    voluntary_replacement: bool = False,
+    drop_stale_invs: bool = True,
+    validate: bool = True,
+) -> AbstractMIInstance:
+    """Abstract MI on a bidirectional ring (dateline escape VCs by default)."""
+    return abstract_mi_network(
+        RingTopology(n_nodes),
+        queue_size,
+        directory_node=directory_node,
+        vcs=vcs,
+        escape_vcs=escape_vcs,
+        repeat_inv=repeat_inv,
+        voluntary_replacement=voluntary_replacement,
+        drop_stale_invs=drop_stale_invs,
+        validate=validate,
     )
 
 

@@ -52,15 +52,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..fabrics import MeshConfig, MeshFabric, build_mesh
+from ..fabrics import FabricConfig, MeshFabric, build_fabric
 from ..fabrics.routing import RoutingFunction, xy_routing
-from ..fabrics.topology import Node
+from ..fabrics.topology import (
+    MeshTopology,
+    Node,
+    RingTopology,
+    Topology,
+    TorusTopology,
+)
 from ..xmas import Automaton, Network, NetworkBuilder, Transition
 from .messages import TOKEN, Message
 
 __all__ = [
     "MIInstance",
     "mi_mesh",
+    "mi_network",
+    "mi_ring",
+    "mi_torus",
     "mi_ether",
     "build_mi_cache",
     "build_mi_directory",
@@ -450,15 +459,13 @@ class MIInstance:
 
 
 def _plan_nodes(
-    width: int,
-    height: int,
+    all_nodes: list[Node],
     directory_node: Node | None,
     dma_node: Node | None,
     with_dma: bool,
 ) -> tuple[Node, Node | None, list[Node]]:
-    all_nodes = [(x, y) for y in range(height) for x in range(width)]
     if directory_node is None:
-        directory_node = (width - 1, height - 1)
+        directory_node = all_nodes[-1]
     if with_dma and dma_node is None:
         dma_node = next(n for n in all_nodes if n != directory_node)
     cache_nodes = [
@@ -469,35 +476,39 @@ def _plan_nodes(
     return directory_node, dma_node, cache_nodes
 
 
-def mi_mesh(
-    width: int,
-    height: int,
+def mi_network(
+    topology: Topology,
     queue_size: int,
     directory_node: Node | None = None,
     dma_node: Node | None = None,
     with_dma: bool = True,
     vcs: int = 1,
-    routing: RoutingFunction = xy_routing,
+    routing: RoutingFunction | None = None,
+    escape_vcs: bool = False,
     validate: bool = True,
+    name: str | None = None,
 ) -> MIInstance:
-    """The full MI protocol on a ``width × height`` mesh.
+    """The full MI protocol over any :class:`Topology`.
 
-    One node hosts the directory, one (optionally) the DMA controller, and
-    every remaining node an L2 cache.
+    One node hosts the directory (default: the last node in canonical
+    order), one (optionally) the DMA controller, and every remaining node
+    an L2 cache.  On wraparound topologies pass ``escape_vcs=True``.
     """
     directory_node, dma_node, cache_nodes = _plan_nodes(
-        width, height, directory_node, dma_node, with_dma
+        list(topology.nodes()), directory_node, dma_node, with_dma
     )
-    builder = NetworkBuilder(f"mi-{width}x{height}-q{queue_size}")
-    config = MeshConfig(
-        width=width,
-        height=height,
+    if name is None:
+        name = f"mi-{topology}-q{queue_size}".replace(" ", "-")
+    builder = NetworkBuilder(name)
+    config = FabricConfig(
+        topology=topology,
         queue_size=queue_size,
         vcs=vcs,
         routing=routing,
         vc_of=mi_vc_assignment if vcs > 1 else None,
+        escape_vcs=escape_vcs,
     )
-    fabric = build_mesh(builder, config)
+    fabric = build_fabric(builder, config)
 
     peers_of = {
         c: [n for n in cache_nodes if n != c] + ([dma_node] if dma_node else [])
@@ -538,6 +549,78 @@ def mi_mesh(
     )
 
 
+def mi_mesh(
+    width: int,
+    height: int,
+    queue_size: int,
+    directory_node: Node | None = None,
+    dma_node: Node | None = None,
+    with_dma: bool = True,
+    vcs: int = 1,
+    routing: RoutingFunction = xy_routing,
+    validate: bool = True,
+) -> MIInstance:
+    """The full MI protocol on a ``width × height`` mesh."""
+    return mi_network(
+        MeshTopology(width, height),
+        queue_size,
+        directory_node=directory_node,
+        dma_node=dma_node,
+        with_dma=with_dma,
+        vcs=vcs,
+        routing=routing,
+        validate=validate,
+        name=f"mi-{width}x{height}-q{queue_size}",
+    )
+
+
+def mi_torus(
+    width: int,
+    height: int,
+    queue_size: int,
+    directory_node: Node | None = None,
+    dma_node: Node | None = None,
+    with_dma: bool = True,
+    vcs: int = 1,
+    escape_vcs: bool = True,
+    validate: bool = True,
+) -> MIInstance:
+    """The full MI protocol on a torus (dateline escape VCs by default)."""
+    return mi_network(
+        TorusTopology(width, height),
+        queue_size,
+        directory_node=directory_node,
+        dma_node=dma_node,
+        with_dma=with_dma,
+        vcs=vcs,
+        escape_vcs=escape_vcs,
+        validate=validate,
+    )
+
+
+def mi_ring(
+    n_nodes: int,
+    queue_size: int,
+    directory_node: Node | None = None,
+    dma_node: Node | None = None,
+    with_dma: bool = True,
+    vcs: int = 1,
+    escape_vcs: bool = True,
+    validate: bool = True,
+) -> MIInstance:
+    """The full MI protocol on a bidirectional ring."""
+    return mi_network(
+        RingTopology(n_nodes),
+        queue_size,
+        directory_node=directory_node,
+        dma_node=dma_node,
+        with_dma=with_dma,
+        vcs=vcs,
+        escape_vcs=escape_vcs,
+        validate=validate,
+    )
+
+
 def mi_ether(
     width: int,
     height: int,
@@ -547,7 +630,10 @@ def mi_ether(
 ) -> Network:
     """The full MI protocol under synchronous handshaking (E9 baseline)."""
     directory_node, dma_node, cache_nodes = _plan_nodes(
-        width, height, directory_node, dma_node, with_dma
+        [(x, y) for y in range(height) for x in range(width)],
+        directory_node,
+        dma_node,
+        with_dma,
     )
     builder = NetworkBuilder(f"mi-ether-{width}x{height}")
     automata: dict[Node, Automaton] = {}

@@ -64,6 +64,45 @@ def test_reregistering_a_name_with_a_different_callable_fails():
         register_builder("test-only-builder", lambda **kwargs: None)
 
 
+def test_register_builder_rejects_positional_only_signatures():
+    """Specs carry kwargs only, so a builder that cannot be called with
+    keywords is a latent grid failure — caught at registration."""
+
+    def positional_only(width, /, queue_size=1):
+        return None
+
+    def var_positional(*args, queue_size=1):
+        return None
+
+    with pytest.raises(TypeError, match="positional-only"):
+        register_builder("test-positional-only", positional_only)
+    with pytest.raises(TypeError, match=r"\*args"):
+        register_builder("test-var-positional", var_positional)
+
+
+def test_builder_catalog_lists_families_and_params():
+    from repro.core.experiments import builder_catalog
+
+    catalog = builder_catalog()
+    assert catalog["msi_mesh"]["family"] == "msi"
+    assert catalog["abstract_mi_torus"]["family"] == "abstract_mi"
+    assert catalog["mi_ring"]["family"] == "mi"
+    assert catalog["traffic_torus"]["family"] == "fabric"
+    assert catalog["running_example"]["family"] == "netlib"
+    assert "queue_size" in catalog["msi_mesh"]["params"]
+    # Every protocol family spans all three topologies.
+    for family in ("abstract_mi", "mi", "msi"):
+        members = [n for n, meta in catalog.items() if meta["family"] == family]
+        assert len(members) == 3, (family, members)
+
+
+def test_register_builder_default_family_is_misc():
+    from repro.core.experiments import builder_catalog
+
+    register_builder("test-family-default", lambda **kwargs: None)
+    assert builder_catalog()["test-family-default"]["family"] == "misc"
+
+
 def test_session_spec_from_builder_matches_direct_build():
     spec = SessionSpec.from_builder(
         "running_example", {"queue_size": 2}, parametric_queues=True

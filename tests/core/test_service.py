@@ -172,6 +172,26 @@ def test_unknown_op_and_bad_spec_are_request_level_errors(tmp_path):
     run_service(scenario, cache_dir=str(tmp_path))
 
 
+def test_spec_less_cases_lists_builder_catalog(tmp_path):
+    """A ``cases`` request without a spec is discovery: it answers with
+    every registered builder, its family and keyword parameters — the
+    shape of a valid spec — and ``stats`` carries the same families."""
+
+    async def scenario(service):
+        discovery = await service.handle_request({"id": 1, "op": "cases"})
+        assert discovery["ok"]
+        builders = discovery["builders"]
+        assert builders["msi_mesh"]["family"] == "msi"
+        assert builders["abstract_mi_ring"]["family"] == "abstract_mi"
+        assert "queue_size" in builders["msi_torus"]["params"]
+
+        stats = service.stats()
+        assert stats["builders"]["mi_torus"] == "mi"
+        assert stats["errors"] == 0  # discovery is not an error path
+
+    run_service(scenario, cache_dir=str(tmp_path))
+
+
 # ---------------------------------------------------------------------------
 # Coalescing, backpressure, deadlines
 # ---------------------------------------------------------------------------

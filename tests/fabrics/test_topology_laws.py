@@ -1,0 +1,144 @@
+"""Property-based laws every :class:`Topology` implementation must obey.
+
+The fabric builder trusts these invariants blindly — a queue pair per
+link assumes link symmetry, the route switches assume every routing step
+names a real port, and deadline/escape-VC wiring assumes routing
+terminates.  Hypothesis sweeps them across mesh / torus / ring shapes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabrics import (
+    MeshTopology,
+    RingTopology,
+    TorusTopology,
+    route_path,
+)
+from repro.protocols import Message
+
+dims = st.integers(min_value=1, max_value=5)
+torus_dims = st.integers(min_value=2, max_value=5)
+ring_sizes = st.integers(min_value=2, max_value=9)
+
+topologies = st.one_of(
+    st.builds(MeshTopology, dims, dims),
+    st.builds(TorusTopology, torus_dims, torus_dims),
+    st.builds(RingTopology, ring_sizes),
+)
+
+
+def pick_node(draw, topology):
+    nodes = list(topology.nodes())
+    return nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+
+
+@st.composite
+def topology_and_node(draw):
+    topology = draw(topologies)
+    return topology, pick_node(draw, topology)
+
+
+@st.composite
+def topology_and_pair(draw):
+    topology = draw(topologies)
+    return topology, pick_node(draw, topology), pick_node(draw, topology)
+
+
+@given(topology_and_node())
+def test_link_symmetry(case):
+    """neighbour(neighbour(n, p), opposite(p)) == n on every live link."""
+    topology, node = case
+    for port in topology.ports(node):
+        other = topology.neighbour(node, port)
+        if other is None:  # mesh edge
+            continue
+        back = topology.opposite(port)
+        assert back in topology.ports(other)
+        assert topology.neighbour(other, back) == node
+
+
+@given(topology_and_node())
+def test_opposite_is_an_involution(case):
+    topology, node = case
+    for port in topology.ports(node):
+        assert topology.opposite(topology.opposite(port)) == port
+
+
+@given(topologies)
+def test_node_count_matches_iteration(topology):
+    nodes = list(topology.nodes())
+    assert topology.node_count() == len(nodes)
+    assert len(set(nodes)) == len(nodes)  # no duplicates
+
+
+@given(topology_and_node())
+def test_degree_bounds(case):
+    """Degree ∈ [1, 4] wherever the fabric has more than one node; every
+    port's neighbour is a topology node (or a mesh edge)."""
+    topology, node = case
+    ports = topology.ports(node)
+    if topology.node_count() > 1:
+        assert 1 <= len(ports) <= 4
+    nodes = set(topology.nodes())
+    for port in ports:
+        other = topology.neighbour(node, port)
+        assert other is None or other in nodes
+
+
+@given(topologies)
+def test_probe_positions_are_nodes(topology):
+    nodes = set(topology.nodes())
+    probes = topology.probe_positions()
+    assert probes, "every topology has at least one probe orbit"
+    assert set(probes) <= nodes
+    assert len(set(probes)) == len(probes)
+
+
+@given(topology_and_pair())
+@settings(max_examples=200)
+def test_routing_terminates_at_destination(case):
+    """Default routing reaches dst from every src without cycling, and
+    every intermediate hop uses a real port of the node it leaves."""
+    topology, src, dst = case
+    message = Message("getX", src=src, dst=dst)
+    bound = 4 * topology.node_count() + 4
+    path = route_path(
+        topology.routing(), src, message, max_hops=bound, topology=topology
+    )
+    assert path[0] == src
+    assert path[-1] == dst
+    assert len(path) <= topology.node_count()  # minimal-ish: never revisits
+    assert len(set(path)) == len(path)
+
+
+@given(topology_and_pair())
+def test_named_routings_terminate(case):
+    topology, src, dst = case
+    message = Message("getX", src=src, dst=dst)
+    for name in topology.routing_names():
+        path = route_path(
+            topology.routing(name),
+            src,
+            message,
+            max_hops=4 * topology.node_count() + 4,
+            topology=topology,
+        )
+        assert path[-1] == dst
+
+
+@given(st.builds(TorusTopology, torus_dims, torus_dims))
+def test_torus_escape_bit_is_binary_and_wrap_only(topology):
+    """Dateline bits are 0/1, and journeys that never wrap stay on VC 0."""
+    nodes = list(topology.nodes())
+    src, dst = nodes[0], nodes[-1]
+    message = Message("getX", src=src, dst=dst)
+    for node in nodes:
+        for port in topology.ports(node):
+            assert topology.escape_vc_bit(node, port, message) in (0, 1)
+    # src (0,0) → dst (w-1,h-1) travels WEST/NORTH the short way or
+    # EAST/SOUTH across the wrap — either way a same-node message never
+    # raises the bit:
+    local = Message("getX", src=src, dst=src)
+    for port in topology.ports(src):
+        assert topology.escape_vc_bit(src, port, local) == 0

@@ -88,7 +88,10 @@ def test_xy_never_turns_y_to_x():
                     seen_y = True
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_octant_positions_fold_the_full_symmetry_group():
+    """The deprecated alias (exercised on purpose) must keep folding the
+    full symmetry group — old drivers' probe lists stay byte-identical."""
     from repro.fabrics import octant_positions
 
     # Square meshes fold x-, y- and diagonal reflections.

@@ -167,3 +167,15 @@ def test_mesh_validates_with_vcs():
 def test_needs_room_for_caches():
     with pytest.raises(ValueError):
         mi_mesh(2, 1, queue_size=1)  # dir + dma leave no cache nodes
+
+
+def test_torus_and_ring_minimum_queue_size_is_six():
+    """The full MI protocol keeps its mesh minimum (6) on the wraparound
+    fabrics — the EXPERIMENTS.md topology × protocol table pins this."""
+    from repro import Verdict, verify
+    from repro.protocols import mi_ring, mi_torus
+
+    for inst in (mi_torus(2, 2, queue_size=5), mi_ring(4, queue_size=5)):
+        assert verify(inst.network).verdict is Verdict.DEADLOCK_CANDIDATE
+    for inst in (mi_torus(2, 2, queue_size=6), mi_ring(4, queue_size=6)):
+        assert verify(inst.network).verdict is Verdict.DEADLOCK_FREE
